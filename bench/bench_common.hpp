@@ -1,0 +1,243 @@
+// Shared scaffolding for the per-table / per-figure benchmark binaries.
+//
+// Two planes (DESIGN.md §1):
+//  * Accuracy plane — real federated training of Tiny models on synthetic
+//    data. `BenchSetup` builds the dataset/environment; `run_method` trains
+//    any of the paper's eight methods and evaluates Clean/PGD/AA.
+//  * Systems plane — `simulate_training_time` replays each method's
+//    per-round device work on the paper's exact VGG16/ResNet34 shapes and
+//    round protocols, producing the latency/memory numbers analytically
+//    (as the paper's own simulator does).
+//
+// Set FP_BENCH_FAST=1 to shrink every training run ~4x (CI smoke).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "attack/evaluate.hpp"
+#include "baselines/distillation.hpp"
+#include "baselines/fedrbn.hpp"
+#include "baselines/jfat.hpp"
+#include "baselines/partial_training.hpp"
+#include "data/synthetic.hpp"
+#include "fedprophet/fedprophet.hpp"
+#include "models/zoo.hpp"
+
+namespace fp::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("FP_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::int64_t scaled(std::int64_t n) { return fast_mode() ? (n + 3) / 4 : n; }
+
+enum class Workload { kCifar, kCaltech };
+
+inline const char* workload_name(Workload w) {
+  return w == Workload::kCifar ? "CIFAR-10 (synthetic)" : "Caltech-256 (synthetic)";
+}
+
+/// Everything an accuracy-plane run needs.
+struct BenchSetup {
+  Workload workload;
+  data::TrainTest data;
+  fed::FlConfig fl;
+  fed::FedEnv env;
+  sys::ModelSpec model;        ///< trainable backbone (TinyVGG / TinyResNet)
+  sys::ModelSpec small_model;  ///< "small" baseline (TinyCNN)
+  std::vector<sys::ModelSpec> kd_family;
+  std::int64_t full_mem = 0;   ///< full trainable-model training memory
+  double device_mem_scale = 1.0;
+  std::int64_t rmin = 0;       ///< 20% of full, as in the paper
+};
+
+inline BenchSetup make_setup(Workload w, sys::Heterogeneity het) {
+  BenchSetup s{.workload = w};
+  data::SyntheticConfig dcfg =
+      w == Workload::kCifar ? data::synth_cifar_config()
+                            : data::synth_caltech_config();
+  dcfg.train_size = scaled(w == Workload::kCifar ? 1600 : 1280);
+  dcfg.test_size = 320;
+  s.data = data::make_synthetic(dcfg);
+
+  s.fl.num_clients = 10;
+  s.fl.clients_per_round = 4;
+  s.fl.local_iters = fast_mode() ? 2 : 4;
+  s.fl.batch_size = 16;
+  s.fl.pgd_steps = 3;  // PGD-3 training at bench scale (paper: PGD-10)
+  s.fl.lr0 = 0.05f;
+  s.fl.sgd.lr = 0.05f;
+  s.fl.lr_decay = 0.99f;
+  s.fl.seed = 1234 + static_cast<std::uint64_t>(w == Workload::kCaltech) * 77 +
+              static_cast<std::uint64_t>(het == sys::Heterogeneity::kUnbalanced);
+
+  const std::int64_t classes = dcfg.num_classes;
+  s.model = w == Workload::kCifar ? models::tiny_vgg_spec(16, classes, 6)
+                                  : models::tiny_resnet_spec(16, classes, 6);
+  s.small_model = models::tiny_cnn_spec(16, classes, 6);
+  s.kd_family = {models::tiny_cnn_spec(16, classes, 6),
+                 w == Workload::kCifar ? models::tiny_vgg_spec(16, classes, 4)
+                                       : models::tiny_resnet_spec(16, classes, 5),
+                 s.model};
+
+  s.full_mem = sys::module_train_mem_bytes(s.model, 0, s.model.atoms.size(),
+                                           s.fl.batch_size, false);
+  // Map the GB-scale device fleet onto the KB-scale trainable model so that
+  // availability-to-model ratios match the paper's (avail / paper-model-mem).
+  const sys::ModelSpec paper_spec = w == Workload::kCifar
+                                        ? models::vgg16_spec(32, 10)
+                                        : models::resnet34_spec(224, 256);
+  const std::int64_t paper_batch = w == Workload::kCifar ? 64 : 32;
+  const auto paper_mem = sys::module_train_mem_bytes(
+      paper_spec, 0, paper_spec.atoms.size(), paper_batch, false);
+  s.device_mem_scale =
+      static_cast<double>(s.full_mem) / static_cast<double>(paper_mem);
+  s.rmin = s.full_mem / 5;  // Rmin ~ 20% of full, paper §7.2
+
+  fed::FedEnvConfig ecfg;
+  ecfg.fl = s.fl;
+  ecfg.with_public_set = true;
+  ecfg.heterogeneity = het;
+  ecfg.cifar_pool = (w == Workload::kCifar);
+  s.env = fed::make_env(s.data, ecfg, paper_spec);
+  return s;
+}
+
+struct MethodResult {
+  std::string name;
+  attack::RobustEvalResult metrics;
+  fed::TimeBreakdown sim_time;
+};
+
+inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
+  attack::RobustEvalConfig e;
+  e.epsilon = epsilon0;
+  e.pgd_steps = 10;
+  e.aa_steps = 12;
+  e.aa_restarts = 1;
+  e.max_samples = scaled(128);
+  return e;
+}
+
+/// Trains one method end to end and evaluates the three paper metrics.
+/// Names: jFAT, FedDF-AT, FedET-AT, HeteroFL-AT, FedDrop-AT, FedRolex-AT,
+/// FedRBN, FedProphet.
+inline MethodResult run_method(const std::string& name, BenchSetup& s,
+                               std::int64_t rounds_other = 16,
+                               std::int64_t rounds_jfat = 12,
+                               std::int64_t fp_rounds_per_module = 5) {
+  MethodResult result;
+  result.name = name;
+  const auto eval_cfg = bench_eval_config(s.fl.epsilon0);
+
+  auto eval_into = [&](models::BuiltModel& model) {
+    result.metrics = attack::evaluate_robustness(model, s.env.test, eval_cfg);
+  };
+
+  if (name == "jFAT") {
+    baselines::JFatConfig cfg;
+    cfg.fl = s.fl;
+    cfg.fl.rounds = scaled(rounds_jfat);
+    cfg.model_spec = s.model;
+    baselines::JFat algo(s.env, cfg);
+    algo.run();
+    result.sim_time = algo.sim_time();
+    eval_into(algo.global_model());
+  } else if (name == "FedDF-AT" || name == "FedET-AT") {
+    baselines::DistillationConfig cfg;
+    cfg.fl = s.fl;
+    cfg.fl.rounds = scaled(rounds_other);
+    cfg.family = s.kd_family;
+    cfg.ensemble_transfer = (name == "FedET-AT");
+    cfg.distill_iters = 8;
+    cfg.device_mem_scale = s.device_mem_scale;
+    baselines::DistillationFAT algo(s.env, cfg);
+    algo.run();
+    result.sim_time = algo.sim_time();
+    eval_into(algo.global_model());
+  } else if (name == "HeteroFL-AT" || name == "FedDrop-AT" ||
+             name == "FedRolex-AT") {
+    baselines::PartialTrainingConfig cfg;
+    cfg.fl = s.fl;
+    cfg.fl.rounds = scaled(rounds_other);
+    cfg.model_spec = s.model;
+    cfg.scheme = name == "HeteroFL-AT" ? models::SliceScheme::kStatic
+                 : name == "FedDrop-AT" ? models::SliceScheme::kRandom
+                                        : models::SliceScheme::kRolling;
+    cfg.device_mem_scale = s.device_mem_scale;
+    baselines::PartialTrainingFAT algo(s.env, cfg);
+    algo.run();
+    result.sim_time = algo.sim_time();
+    eval_into(algo.global_model());
+  } else if (name == "FedRBN") {
+    baselines::FedRbnConfig cfg;
+    cfg.fl = s.fl;
+    cfg.fl.rounds = scaled(rounds_other);
+    cfg.model_spec = s.model;
+    cfg.device_mem_scale = s.device_mem_scale;
+    baselines::FedRbn algo(s.env, cfg);
+    algo.run();
+    result.sim_time = algo.sim_time();
+    // Dual-BN evaluation: clean bank for clean accuracy, adversarial bank
+    // for the attacks.
+    algo.use_adv_bank(false);
+    result.metrics.clean_acc =
+        attack::evaluate_clean(algo.global_model(), s.env.test,
+                               eval_cfg.batch_size, eval_cfg.max_samples);
+    algo.use_adv_bank(true);
+    auto adv = attack::evaluate_robustness(algo.global_model(), s.env.test,
+                                           eval_cfg);
+    result.metrics.pgd_acc = adv.pgd_acc;
+    result.metrics.aa_acc = adv.aa_acc;
+    algo.use_adv_bank(false);
+  } else if (name == "FedProphet") {
+    fedprophet::FedProphetConfig cfg;
+    cfg.fl = s.fl;
+    cfg.model_spec = s.model;
+    cfg.rmin_bytes = s.rmin;
+    cfg.rounds_per_module = scaled(fp_rounds_per_module) + 1;
+    cfg.eval_every = 4;
+    cfg.device_mem_scale = s.device_mem_scale;
+    cfg.val_samples = 96;
+    fedprophet::FedProphet algo(s.env, cfg);
+    algo.train();
+    result.sim_time = algo.sim_time();
+    eval_into(algo.global_model());
+  } else {
+    std::fprintf(stderr, "unknown method %s\n", name.c_str());
+    std::abort();
+  }
+  return result;
+}
+
+// ---- systems plane ----------------------------------------------------------
+
+enum class TimingMethod {
+  kJfat,
+  kKnowledgeDistill,
+  kPartialTraining,
+  kFedRbn,
+  kFedProphet,
+  kFedProphetNoDma,
+};
+
+struct TimingScenario {
+  Workload workload = Workload::kCifar;
+  sys::Heterogeneity het = sys::Heterogeneity::kBalanced;
+  std::int64_t clients_per_round = 10;  ///< paper: C = 10
+  std::int64_t local_iters = 30;        ///< paper: E = 30
+  int pgd_steps = 10;
+  std::uint64_t seed = 9;
+};
+
+/// Total simulated training time of a method under the paper's protocol
+/// (rounds: 500 jFAT, 1000 memory-efficient baselines, ~350/module
+/// FedProphet). Pure cost-model computation on the paper-shape specs.
+fed::TimeBreakdown simulate_training_time(TimingMethod method,
+                                          const TimingScenario& sc);
+
+}  // namespace fp::bench

@@ -1,0 +1,47 @@
+// Figure 10: perturbation magnitude per input dimension over communication
+// rounds under Adaptive Perturbation Adjustment (balanced setting). The
+// dashed stage boundaries of the paper correspond to the module transitions
+// printed below.
+//
+// Expected shape (paper): within each module's stage the magnitude starts
+// small (alpha_init = 0.3) and ratchets upward as APA trades clean accuracy
+// for robustness.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fp::bench;
+  std::printf("=== Figure 10: eps per dimension across rounds (APA) ===\n\n");
+  for (const auto workload : {Workload::kCifar, Workload::kCaltech}) {
+    auto setup = make_setup(workload, fp::sys::Heterogeneity::kBalanced);
+    fp::fedprophet::FedProphetConfig cfg;
+    cfg.fl = setup.fl;
+    cfg.model_spec = setup.model;
+    cfg.rmin_bytes = setup.rmin;
+    cfg.rounds_per_module = fast_mode() ? 4 : 8;
+    cfg.eval_every = 3;
+    cfg.device_mem_scale = setup.device_mem_scale;
+    cfg.val_samples = 96;
+    fp::fedprophet::FedProphet algo(setup.env, cfg);
+    algo.train();
+
+    std::printf("-- %s --\nround : eps/dim   (| marks module boundaries)\n",
+                workload_name(workload));
+    const auto& trace = algo.eps_trace();
+    std::size_t stage_idx = 0;
+    std::int64_t next_boundary = algo.stages().empty()
+                                     ? static_cast<std::int64_t>(trace.size())
+                                     : algo.stages()[0].rounds;
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+      if (static_cast<std::int64_t>(t) == next_boundary &&
+          stage_idx + 1 < algo.stages().size()) {
+        std::printf("----- module %zu -> %zu -----\n", stage_idx + 1,
+                    stage_idx + 2);
+        ++stage_idx;
+        next_boundary += algo.stages()[stage_idx].rounds;
+      }
+      std::printf("%5zu : %.5f\n", t, trace[t]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6 (and Tables 5/6): the edge-device fleet.
+//  * Upper: balanced vs unbalanced real-time availability samplings
+//    (memory x performance scatter, summarized here as per-device stats).
+//  * Lower: peak training-memory consumption of jFAT (whole model) vs
+//    FedProphet (largest module) on both workloads.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cascade/partitioner.hpp"
+
+namespace {
+using namespace fp;
+
+void print_pool(const char* title, const std::vector<sys::Device>& pool) {
+  std::printf("-- %s --\n%-18s %10s %8s %12s\n", title, "device", "TFLOPS",
+              "mem GB", "I/O GB/s");
+  for (const auto& d : pool)
+    std::printf("%-18s %10.1f %8.0f %12.1f\n", d.name.c_str(), d.peak_tflops,
+                d.mem_gb, d.io_gbps);
+  std::printf("\n");
+}
+
+void print_sampling(const char* title, const std::vector<sys::Device>& pool,
+                    sys::Heterogeneity het) {
+  sys::DeviceSampler sampler(pool, het, 33);
+  const int n = 5000;
+  std::vector<int> count(pool.size(), 0);
+  double mem = 0, perf = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto inst = sampler.sample();
+    ++count[inst.pool_index];
+    mem += static_cast<double>(inst.avail_mem_bytes) / (1 << 30);
+    perf += inst.avail_flops / 1e12;
+  }
+  std::printf("%s: mean avail mem %.2f GB, mean avail perf %.2f TFLOPS\n", title,
+              mem / n, perf / n);
+  std::printf("  selection frequency:");
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    std::printf(" %s %.0f%%", pool[i].name.c_str(), 100.0 * count[i] / n);
+  std::printf("\n");
+}
+
+void print_memory(const char* title, const sys::ModelSpec& spec,
+                  std::int64_t batch) {
+  const auto full =
+      sys::module_train_mem_bytes(spec, 0, spec.atoms.size(), batch, false);
+  const auto p = cascade::partition_model(spec, full / 5, batch);
+  std::int64_t peak = 0;
+  for (std::size_t m = 0; m < p.num_modules(); ++m)
+    peak = std::max(peak, cascade::module_mem_bytes(spec, p, m));
+  std::printf("%-28s jFAT %7.0f MB | FedProphet %6.0f MB (%zu modules, -%.0f%%)\n",
+              title, static_cast<double>(full) / (1 << 20),
+              static_cast<double>(peak) / (1 << 20), p.num_modules(),
+              100.0 * (1.0 - static_cast<double>(peak) / static_cast<double>(full)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Tables 5/6: device pools ===\n");
+  print_pool("CIFAR-10 workload (Table 5)", fp::sys::cifar_device_pool());
+  print_pool("Caltech-256 workload (Table 6)", fp::sys::caltech_device_pool());
+
+  std::printf("=== Figure 6 (upper): real-time availability samplings ===\n");
+  for (const bool cifar : {true, false}) {
+    const auto& pool = cifar ? fp::sys::cifar_device_pool()
+                             : fp::sys::caltech_device_pool();
+    std::printf("[%s]\n", cifar ? "CIFAR pool" : "Caltech pool");
+    print_sampling("  balanced  ", pool, fp::sys::Heterogeneity::kBalanced);
+    print_sampling("  unbalanced", pool, fp::sys::Heterogeneity::kUnbalanced);
+  }
+
+  std::printf("\n=== Figure 6 (lower): training memory consumption ===\n");
+  print_memory("VGG16 on CIFAR-10 (B=64)", fp::models::vgg16_spec(32, 10), 64);
+  print_memory("ResNet34 on Caltech-256 (B=32)",
+               fp::models::resnet34_spec(224, 256), 32);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: total training time (computation + data access) of every method
+// under the paper's round protocol, on the paper-shape workloads, for
+// balanced and unbalanced device fleets. Also reports FedProphet's speedup
+// over jFAT (paper: 2.4x / 1.9x / 10.8x / 7.7x).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fp::bench;
+  struct MethodRow {
+    const char* name;
+    TimingMethod method;
+  };
+  const MethodRow methods[] = {
+      {"jFAT", TimingMethod::kJfat},
+      {"FedDF-AT", TimingMethod::kKnowledgeDistill},
+      {"FedET-AT", TimingMethod::kKnowledgeDistill},
+      {"HeteroFL-AT", TimingMethod::kPartialTraining},
+      {"FedDrop-AT", TimingMethod::kPartialTraining},
+      {"FedRolex-AT", TimingMethod::kPartialTraining},
+      {"FedRBN", TimingMethod::kFedRbn},
+      {"FedProphet", TimingMethod::kFedProphet},
+  };
+
+  std::printf(
+      "=== Figure 7: simulated total training time (paper protocol: 500\n"
+      "rounds jFAT / 1000 rounds baselines / ~350 per module FedProphet,\n"
+      "C=10 clients, E=30 local iterations, PGD-10) ===\n\n");
+  for (const auto workload : {Workload::kCifar, Workload::kCaltech}) {
+    for (const auto het : {fp::sys::Heterogeneity::kBalanced,
+                           fp::sys::Heterogeneity::kUnbalanced}) {
+      TimingScenario sc;
+      sc.workload = workload;
+      sc.het = het;
+      sc.seed = 11 + (het == fp::sys::Heterogeneity::kUnbalanced);
+      std::printf("-- %s, %s --\n", workload_name(workload),
+                  het == fp::sys::Heterogeneity::kBalanced ? "balanced"
+                                                           : "unbalanced");
+      std::printf("%-14s %14s %14s %14s\n", "method", "compute (s)",
+                  "access (s)", "total (s)");
+      double jfat_total = 0;
+      for (const auto& m : methods) {
+        const auto t = simulate_training_time(m.method, sc);
+        if (m.method == TimingMethod::kJfat) jfat_total = t.total();
+        std::printf("%-14s %14.3g %14.3g %14.3g", m.name, t.compute_s,
+                    t.access_s, t.total());
+        if (m.method == TimingMethod::kFedProphet && jfat_total > 0)
+          std::printf("   (%.1fx speedup vs jFAT)", jfat_total / t.total());
+        std::printf("\n");
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

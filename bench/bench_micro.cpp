@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the kernels that dominate
+// training time on this substrate: GEMM, conv2d forward/backward,
+// BatchNorm, one PGD attack step, and partial-average aggregation.
+#include <benchmark/benchmark.h>
+
+#include "attack/attacks.hpp"
+#include "fed/aggregator.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+using namespace fp;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  const Tensor y = conv.forward(x, true);
+  const Tensor g = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    Tensor gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::BatchNorm2d bn(32);
+  const Tensor x = Tensor::randn({16, 32, 8, 8}, rng);
+  for (auto _ : state) {
+    Tensor y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_PgdStep(benchmark::State& state) {
+  Rng rng(5);
+  models::BuiltModel model(models::tiny_vgg_spec(16, 10, 4), rng);
+  const Tensor x = Tensor::rand_uniform({8, 3, 16, 16}, rng, 0, 1);
+  const std::vector<std::int64_t> y{0, 1, 2, 3, 4, 5, 6, 7};
+  attack::PgdConfig cfg;
+  cfg.steps = 1;
+  auto fn = [&model](const Tensor& xx, const std::vector<std::int64_t>& yy,
+                     Tensor* g) {
+    const Tensor logits = model.forward(xx, false);
+    const float loss = cross_entropy(logits, yy);
+    if (g)
+      *g = model.backward_range(0, model.num_atoms(),
+                                cross_entropy_grad(logits, yy));
+    return loss;
+  };
+  for (auto _ : state) {
+    Tensor adv = attack::pgd(fn, x, y, cfg, rng);
+    benchmark::DoNotOptimize(adv.data());
+  }
+}
+BENCHMARK(BM_PgdStep);
+
+void BM_PartialAverage(benchmark::State& state) {
+  Rng rng(6);
+  const auto spec = models::tiny_vgg_spec(16, 10, 8);
+  models::BuiltModel global(spec, rng), trained(spec, rng);
+  fed::PartialAccumulator acc(global);
+  for (auto _ : state) {
+    acc.reset();
+    for (std::size_t a = 0; a < global.num_atoms(); ++a)
+      acc.add_dense_atom(trained, a, 1.0f);
+    acc.finalize_into(global);
+    benchmark::DoNotOptimize(global.save_atom(0).data());
+  }
+}
+BENCHMARK(BM_PartialAverage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Heterogeneous fleet walkthrough: samples the paper's device pools under
+// balanced and unbalanced systematic heterogeneity, shows per-client
+// real-time availability, and demonstrates how the server's Differentiated
+// Module Assignment (Eq. 14/15) turns resource-rich clients into "prophets"
+// that train extra future modules without stretching the round.
+#include <cstdio>
+
+#include "cascade/partitioner.hpp"
+#include "fedprophet/coordinator.hpp"
+#include "models/zoo.hpp"
+#include "sysmodel/device.hpp"
+
+int main() {
+  using namespace fp;
+  const auto spec = models::vgg16_spec(32, 10);
+  const auto partition = cascade::partition_model(spec, 60ll << 20, 64);
+  std::printf("VGG16 partitioned into %zu modules at Rmin = 60 MB\n\n",
+              partition.num_modules());
+
+  for (const auto het :
+       {sys::Heterogeneity::kBalanced, sys::Heterogeneity::kUnbalanced}) {
+    const bool balanced = het == sys::Heterogeneity::kBalanced;
+    std::printf("== %s sampling, one round, 10 clients ==\n",
+                balanced ? "balanced" : "unbalanced");
+    sys::DeviceSampler sampler(sys::cifar_device_pool(), het, balanced ? 11 : 22);
+    const auto devices = sampler.sample_n(10);
+
+    double perf_min = devices[0].avail_flops;
+    for (const auto& d : devices) perf_min = std::min(perf_min, d.avail_flops);
+
+    std::printf("%-18s %10s %10s %8s %s\n", "device", "mem avail", "perf",
+                "modules", "(training module 1 this stage)");
+    for (const auto& d : devices) {
+      const std::size_t end = fedprophet::assign_modules(
+          spec, partition, /*m=*/0, 64, d.avail_mem_bytes, d.avail_flops,
+          perf_min, /*enabled=*/true);
+      std::printf("%-18s %7.0f MB %7.2f TF %8zu %s\n", d.name.c_str(),
+                  static_cast<double>(d.avail_mem_bytes) / (1 << 20),
+                  d.avail_flops / 1e12, end,
+                  end > 1 ? "<- prophet client" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Unbalanced fleets are dominated by low-memory, low-performance\n"
+      "devices, so fewer clients qualify as prophets — exactly the regime\n"
+      "where the paper reports the largest accuracy gap from DMA (Table 3).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Memory-constrained model partitioning on the paper's exact workloads:
+// VGG16 @ 3x32x32 (CIFAR-10, B=64, Rmin=60 MB) and ResNet34 @ 3x224x224
+// (Caltech-256, B=32, Rmin=224 MB) — the analytic counterpart of the
+// paper's Tables 7 and 8, plus the memory-saving summary of Figure 6.
+#include <cstdio>
+
+#include "cascade/partitioner.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+void report(const fp::sys::ModelSpec& spec, std::int64_t rmin_bytes,
+            std::int64_t batch) {
+  using namespace fp;
+  const auto p = cascade::partition_model(spec, rmin_bytes, batch);
+  std::printf("%s\n", cascade::format_partition(spec, p).c_str());
+  const auto full = sys::module_train_mem_bytes(spec, 0, spec.atoms.size(),
+                                                batch, false);
+  std::int64_t peak = 0;
+  for (std::size_t m = 0; m < p.num_modules(); ++m)
+    peak = std::max(peak, cascade::module_mem_bytes(spec, p, m));
+  std::printf(
+      "full-model training: %.0f MB; largest module: %.0f MB "
+      "(%.0f%% memory reduction)\n\n",
+      static_cast<double>(full) / (1 << 20), static_cast<double>(peak) / (1 << 20),
+      100.0 * (1.0 - static_cast<double>(peak) / static_cast<double>(full)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== VGG16 on CIFAR-10 (Rmin = 60 MB, B = 64) ==\n");
+  report(fp::models::vgg16_spec(32, 10), 60ll << 20, 64);
+
+  std::printf("== ResNet34 on Caltech-256 (Rmin = 224 MB, B = 32) ==\n");
+  report(fp::models::resnet34_spec(224, 256), 224ll << 20, 32);
+
+  std::printf("== Sweep: modules vs memory budget (VGG16) ==\n");
+  const auto spec = fp::models::vgg16_spec(32, 10);
+  const auto full =
+      fp::sys::module_train_mem_bytes(spec, 0, spec.atoms.size(), 64, false);
+  for (const double frac : {0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
+    const auto p = fp::cascade::partition_model(
+        spec, static_cast<std::int64_t>(frac * static_cast<double>(full)), 64);
+    std::printf("  Rmin/Rmax = %.1f -> %zu modules\n", frac, p.num_modules());
+  }
+  return 0;
+}

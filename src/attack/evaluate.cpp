@@ -1,0 +1,124 @@
+#include "attack/evaluate.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace fp::attack {
+
+namespace {
+std::int64_t eval_count(const data::Dataset& test, std::int64_t max_samples) {
+  return max_samples > 0 ? std::min(max_samples, test.size()) : test.size();
+}
+
+/// Marks correctly classified samples (eval mode).
+std::vector<bool> correct_mask(models::BuiltModel& model, const Tensor& x,
+                               const std::vector<std::int64_t>& y) {
+  const Tensor logits = model.forward(x, /*train=*/false);
+  const auto preds = logits.argmax_rows();
+  std::vector<bool> ok(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) ok[i] = preds[i] == y[i];
+  return ok;
+}
+}  // namespace
+
+LossGradFn model_ce_lossgrad(models::BuiltModel& model) {
+  return [&model](const Tensor& x, const std::vector<std::int64_t>& y,
+                  Tensor* grad_x) {
+    const Tensor logits = model.forward(x, /*train=*/false);
+    const float loss = cross_entropy(logits, y);
+    if (grad_x) {
+      const Tensor glogits = cross_entropy_grad(logits, y);
+      *grad_x = model.backward_range(0, model.num_atoms(), glogits);
+    }
+    return loss;
+  };
+}
+
+LossGradFn model_dlr_lossgrad(models::BuiltModel& model) {
+  return [&model](const Tensor& x, const std::vector<std::int64_t>& y,
+                  Tensor* grad_x) {
+    const Tensor logits = model.forward(x, /*train=*/false);
+    const float loss = dlr_loss(logits, y);
+    if (grad_x) {
+      const Tensor glogits = dlr_loss_grad(logits, y);
+      *grad_x = model.backward_range(0, model.num_atoms(), glogits);
+    }
+    return loss;
+  };
+}
+
+double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
+                      std::int64_t batch_size, std::int64_t max_samples) {
+  const std::int64_t n = eval_count(test, max_samples);
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const auto b = data::take_batch(test, start, std::min(batch_size, n - start));
+    const auto mask = correct_mask(model, b.x, b.y);
+    for (const bool ok : mask) correct += ok;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,
+                    const RobustEvalConfig& cfg) {
+  Rng rng(cfg.seed);
+  const std::int64_t n = eval_count(test, cfg.max_samples);
+  PgdConfig pgd_cfg;
+  pgd_cfg.epsilon = cfg.epsilon;
+  pgd_cfg.steps = cfg.pgd_steps;
+  auto fn = model_ce_lossgrad(model);
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += cfg.batch_size) {
+    const auto b =
+        data::take_batch(test, start, std::min(cfg.batch_size, n - start));
+    const Tensor x_adv = pgd(fn, b.x, b.y, pgd_cfg, rng);
+    const auto mask = correct_mask(model, x_adv, b.y);
+    for (const bool ok : mask) correct += ok;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+RobustEvalResult evaluate_robustness(models::BuiltModel& model,
+                                     const data::Dataset& test,
+                                     const RobustEvalConfig& cfg) {
+  RobustEvalResult result;
+  result.clean_acc = evaluate_clean(model, test, cfg.batch_size, cfg.max_samples);
+  result.pgd_acc = evaluate_pgd(model, test, cfg);
+
+  // AutoAttackLite: a sample is robust only if it survives APGD-CE and
+  // APGD-DLR under every restart.
+  Rng rng(cfg.seed + 1);
+  const std::int64_t n = eval_count(test, cfg.max_samples);
+  PgdConfig apgd_cfg;
+  apgd_cfg.epsilon = cfg.epsilon;
+  apgd_cfg.steps = cfg.aa_steps;
+  auto ce_fn = model_ce_lossgrad(model);
+  auto dlr_fn = model_dlr_lossgrad(model);
+  const bool use_dlr = test.num_classes >= 3;
+
+  std::int64_t robust = 0;
+  for (std::int64_t start = 0; start < n; start += cfg.batch_size) {
+    const auto b =
+        data::take_batch(test, start, std::min(cfg.batch_size, n - start));
+    auto surviving = correct_mask(model, b.x, b.y);
+    for (int restart = 0; restart < cfg.aa_restarts; ++restart) {
+      apgd_cfg.random_start = restart > 0;
+      for (const auto* fn : {&ce_fn, use_dlr ? &dlr_fn : nullptr}) {
+        if (!fn) continue;
+        if (std::none_of(surviving.begin(), surviving.end(),
+                         [](bool v) { return v; }))
+          break;
+        const Tensor x_adv = apgd(*fn, b.x, b.y, apgd_cfg, rng);
+        const auto mask = correct_mask(model, x_adv, b.y);
+        for (std::size_t i = 0; i < surviving.size(); ++i)
+          surviving[i] = surviving[i] && mask[i];
+      }
+    }
+    for (const bool ok : surviving) robust += ok;
+  }
+  result.aa_acc = static_cast<double>(robust) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace fp::attack

@@ -1,0 +1,48 @@
+// Robustness evaluation harness: clean accuracy, PGD-k accuracy, and
+// AutoAttackLite accuracy (APGD-CE + APGD-DLR with restarts; a sample counts
+// as robust only if it survives every attack) — the paper's three metrics
+// (Clean Acc. / PGD Acc. / AA Acc., §7.1).
+#pragma once
+
+#include "attack/attacks.hpp"
+#include "data/dataset.hpp"
+#include "models/built_model.hpp"
+
+namespace fp::attack {
+
+/// Eval-mode cross-entropy loss/grad of a full model (input = images).
+LossGradFn model_ce_lossgrad(models::BuiltModel& model);
+/// Eval-mode DLR loss/grad (needs >= 3 classes).
+LossGradFn model_dlr_lossgrad(models::BuiltModel& model);
+
+struct RobustEvalConfig {
+  float epsilon = 8.0f / 255.0f;
+  int pgd_steps = 20;       ///< PGD-20, paper §7.1
+  int aa_steps = 20;        ///< APGD iterations per attack
+  int aa_restarts = 2;      ///< random restarts per APGD attack
+  std::int64_t batch_size = 100;
+  /// Cap on evaluated samples (<=0 = whole set); attacks are expensive on CPU.
+  std::int64_t max_samples = -1;
+  std::uint64_t seed = 99;
+};
+
+struct RobustEvalResult {
+  double clean_acc = 0.0;
+  double pgd_acc = 0.0;
+  double aa_acc = 0.0;
+};
+
+/// Clean accuracy only (cheap).
+double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
+                      std::int64_t batch_size = 100, std::int64_t max_samples = -1);
+
+/// PGD-k adversarial accuracy.
+double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,
+                    const RobustEvalConfig& cfg);
+
+/// Full three-metric evaluation.
+RobustEvalResult evaluate_robustness(models::BuiltModel& model,
+                                     const data::Dataset& test,
+                                     const RobustEvalConfig& cfg);
+
+}  // namespace fp::attack

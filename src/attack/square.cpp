@@ -1,0 +1,89 @@
+#include "attack/square.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fp::attack {
+
+namespace {
+/// Patch-side schedule from the original paper: the fraction of perturbed
+/// pixels decays stepwise with progress through the iteration budget.
+double p_at(double p_init, int iter, int total) {
+  const double frac = static_cast<double>(iter) / std::max(1, total);
+  if (frac <= 0.05) return p_init;
+  if (frac <= 0.2) return p_init / 2;
+  if (frac <= 0.5) return p_init / 4;
+  if (frac <= 0.8) return p_init / 8;
+  return p_init / 16;
+}
+}  // namespace
+
+Tensor square_attack(const MarginFn& margin_fn, const Tensor& x,
+                     const std::vector<std::int64_t>& y, const SquareConfig& cfg,
+                     Rng& rng) {
+  if (x.ndim() != 4) throw std::invalid_argument("square_attack: want NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+
+  // Initialize with vertical-stripe perturbation (the attack's warm start).
+  Tensor x_adv = x;
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t col = 0; col < w; ++col) {
+        const float sign = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+        for (std::int64_t row = 0; row < h; ++row) {
+          float& v = x_adv[((i * c + ch) * h + row) * w + col];
+          v = std::clamp(v + sign * cfg.epsilon, cfg.clip_lo, cfg.clip_hi);
+        }
+      }
+  std::vector<float> best = margin_fn(x_adv, y);
+  // Keep the clean image where the stripe start did not help.
+  {
+    const auto clean = margin_fn(x, y);
+    for (std::int64_t i = 0; i < n; ++i)
+      if (clean[static_cast<std::size_t>(i)] < best[static_cast<std::size_t>(i)]) {
+        best[static_cast<std::size_t>(i)] = clean[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < c * h * w; ++j)
+          x_adv[i * c * h * w + j] = x[i * c * h * w + j];
+      }
+  }
+
+  Tensor candidate = x_adv;
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const double p = p_at(cfg.p_init, iter, cfg.iterations);
+    const auto side = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(
+               std::sqrt(p * static_cast<double>(h) * static_cast<double>(w)))));
+    candidate = x_adv;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (best[static_cast<std::size_t>(i)] < 0.0f) continue;  // already broken
+      const std::int64_t r0 = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(h - side + 1)));
+      const std::int64_t c0 = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(w - side + 1)));
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float delta = (rng.uniform() < 0.5 ? -1.0f : 1.0f) * cfg.epsilon;
+        for (std::int64_t dy = 0; dy < side; ++dy)
+          for (std::int64_t dx = 0; dx < side; ++dx) {
+            const std::int64_t idx = ((i * c + ch) * h + r0 + dy) * w + c0 + dx;
+            // Project onto the eps-ball around the ORIGINAL pixel.
+            const float lo = std::max(cfg.clip_lo, x[idx] - cfg.epsilon);
+            const float hi = std::min(cfg.clip_hi, x[idx] + cfg.epsilon);
+            candidate[idx] = std::clamp(x[idx] + delta, lo, hi);
+          }
+      }
+    }
+    const auto margins = margin_fn(candidate, y);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (margins[static_cast<std::size_t>(i)] <
+          best[static_cast<std::size_t>(i)]) {
+        best[static_cast<std::size_t>(i)] = margins[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < c * h * w; ++j)
+          x_adv[i * c * h * w + j] = candidate[i * c * h * w + j];
+      }
+    }
+  }
+  return x_adv;
+}
+
+}  // namespace fp::attack

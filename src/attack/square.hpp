@@ -1,0 +1,34 @@
+// Square Attack (Andriushchenko et al. 2020): gradient-free black-box
+// l_inf attack by random square-patch search. AutoAttack's ensemble includes
+// it precisely because it catches gradient-masked models that PGD/APGD miss;
+// adding it to AutoAttackLite strengthens the robustness evaluation.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace fp::attack {
+
+/// Per-sample margin loss used by Square: the attack succeeds on a sample
+/// once its margin (logit_y - max logit_other) goes negative. Returns one
+/// value per row.
+using MarginFn = std::function<std::vector<float>(
+    const Tensor& x, const std::vector<std::int64_t>& y)>;
+
+struct SquareConfig {
+  float epsilon = 8.0f / 255.0f;
+  int iterations = 100;
+  /// Initial fraction of the image side covered by a patch; decays with
+  /// the iteration schedule as in the original attack.
+  double p_init = 0.5;
+  float clip_lo = 0.0f, clip_hi = 1.0f;
+};
+
+/// Runs the attack on an NCHW batch; returns the adversarial batch. Samples
+/// whose margin is already negative are left untouched.
+Tensor square_attack(const MarginFn& margin_fn, const Tensor& x,
+                     const std::vector<std::int64_t>& y, const SquareConfig& cfg,
+                     Rng& rng);
+
+}  // namespace fp::attack

@@ -1,0 +1,142 @@
+#include "baselines/distillation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/local_at.hpp"
+#include "tensor/ops.hpp"
+
+namespace fp::baselines {
+
+DistillationFAT::DistillationFAT(fed::FedEnv& env, DistillationConfig cfg)
+    : FederatedAlgorithm(env, cfg.fl),
+      init_rng_(cfg.fl.seed ^ 0xd15717),
+      cfg2_(std::move(cfg)),
+      clients_(env, cfg2_.fl.seed),
+      public_rng_(cfg2_.fl.seed + 404) {
+  if (cfg2_.family.empty())
+    throw std::invalid_argument("DistillationFAT: empty model family");
+  if (env.public_set.size() == 0)
+    throw std::invalid_argument("DistillationFAT: environment has no public set");
+  for (const auto& spec : cfg2_.family) {
+    prototypes_.push_back(std::make_unique<models::BuiltModel>(spec, init_rng_));
+    family_mem_.push_back(sys::module_train_mem_bytes(
+        spec, 0, spec.atoms.size(), cfg2_.fl.batch_size, false));
+  }
+}
+
+std::size_t DistillationFAT::arch_for_mem(std::int64_t avail_mem_bytes) const {
+  const double budget =
+      static_cast<double>(avail_mem_bytes) * cfg2_.device_mem_scale;
+  std::size_t best = 0;  // the smallest model is always allowed
+  for (std::size_t a = 0; a < family_mem_.size(); ++a)
+    if (static_cast<double>(family_mem_[a]) <= budget) best = a;
+  return best;
+}
+
+void DistillationFAT::run_round(std::int64_t t) {
+  const auto rc = sample_round();
+  LocalAtConfig at;
+  at.epsilon = cfg_.epsilon0;
+  at.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
+  at.adversarial = cfg2_.adversarial;
+  nn::SgdConfig sgd = cfg_.sgd;
+  sgd.lr = lr_at(t);
+
+  std::vector<fed::BlobAverager> per_arch(prototypes_.size());
+  std::vector<nn::ParamBlob> globals;
+  globals.reserve(prototypes_.size());
+  for (auto& p : prototypes_) globals.push_back(p->save_all());
+
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const std::size_t k = rc.ids[i];
+    const std::size_t arch =
+        rc.devices.empty() ? prototypes_.size() - 1
+                           : arch_for_mem(rc.devices[i].avail_mem_bytes);
+    auto& proto = *prototypes_[arch];
+    proto.load_all(globals[arch]);
+    nn::Sgd opt(proto.parameters_range(0, proto.num_atoms()),
+                proto.gradients_range(0, proto.num_atoms()), sgd);
+    auto& batches = clients_.batches(k, cfg_.batch_size);
+    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+      at_train_batch(proto, opt, batches.next(), at, clients_.rng(k));
+    per_arch[arch].add(proto.save_all(), env_->weights[k]);
+
+    fed::ClientWork w;
+    w.atom_begin = 0;
+    w.atom_end = env_->cost_spec.atoms.size();
+    w.with_aux = false;
+    w.pgd_steps = at.pgd_steps;
+    const double scale = static_cast<double>(family_mem_[arch]) /
+                         static_cast<double>(family_mem_.back());
+    w.mem_scale = scale;          // the chosen model fits: no swap
+    w.flops_scale = scale;        // smaller model, proportionally less compute
+    work.push_back(w);
+  }
+  for (std::size_t a = 0; a < prototypes_.size(); ++a) {
+    if (!per_arch[a].empty())
+      prototypes_[a]->load_all(per_arch[a].average());
+    else
+      prototypes_[a]->load_all(globals[a]);
+  }
+  distill(t);
+  if (!rc.devices.empty())
+    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
+                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+void DistillationFAT::distill(std::int64_t t) {
+  if (!public_batches_)
+    public_batches_.emplace(env_->public_set, cfg2_.distill_batch, public_rng_);
+  nn::SgdConfig sgd = cfg_.sgd;
+  sgd.lr = std::min(cfg2_.distill_lr, lr_at(t));
+  sgd.weight_decay = 0.0f;
+
+  // FedET distills only into the large model; FedDF fuses every prototype.
+  std::vector<std::size_t> students;
+  if (cfg2_.ensemble_transfer) {
+    students.push_back(prototypes_.size() - 1);
+  } else {
+    for (std::size_t a = 0; a < prototypes_.size(); ++a) students.push_back(a);
+  }
+
+  for (int it = 0; it < cfg2_.distill_iters; ++it) {
+    const auto b = public_batches_->next();
+    const std::int64_t n = b.x.dim(0);
+    const std::int64_t c = env_->public_set.num_classes;
+    // Teacher: mean (FedDF) or confidence-weighted mean (FedET) of the
+    // prototypes' softmax outputs.
+    Tensor target({n, c});
+    Tensor weight_sum({n, 1});
+    for (auto& proto : prototypes_) {
+      const Tensor probs = softmax(proto->forward(b.x, /*train=*/false));
+      for (std::int64_t r = 0; r < n; ++r) {
+        float w = 1.0f;
+        if (cfg2_.ensemble_transfer) {
+          w = 0.0f;
+          for (std::int64_t j = 0; j < c; ++j)
+            w = std::max(w, probs[r * c + j]);  // teacher confidence
+        }
+        for (std::int64_t j = 0; j < c; ++j)
+          target[r * c + j] += w * probs[r * c + j];
+        weight_sum[r] += w;
+      }
+    }
+    for (std::int64_t r = 0; r < n; ++r)
+      for (std::int64_t j = 0; j < c; ++j) target[r * c + j] /= weight_sum[r];
+
+    for (const std::size_t s : students) {
+      auto& student = *prototypes_[s];
+      nn::Sgd opt(student.parameters_range(0, student.num_atoms()),
+                  student.gradients_range(0, student.num_atoms()), sgd);
+      student.zero_grad_range(0, student.num_atoms());
+      const Tensor logits = student.forward(b.x, /*train=*/true);
+      const Tensor g = soft_cross_entropy_grad(logits, target);
+      student.backward_range(0, student.num_atoms(), g);
+      opt.step();
+    }
+  }
+}
+
+}  // namespace fp::baselines

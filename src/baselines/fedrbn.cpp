@@ -1,0 +1,82 @@
+#include "baselines/fedrbn.hpp"
+
+#include "baselines/local_at.hpp"
+
+namespace fp::baselines {
+
+FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
+    : FederatedAlgorithm(env, cfg.fl),
+      init_rng_(cfg.fl.seed ^ 0xb7123),
+      cfg2_(cfg),
+      model_(cfg.model_spec, init_rng_),
+      full_mem_bytes_(sys::module_train_mem_bytes(
+          cfg.model_spec, 0, cfg.model_spec.atoms.size(), cfg.fl.batch_size,
+          false)),
+      clients_(env, cfg.fl.seed) {}
+
+void FedRbn::run_round(std::int64_t t) {
+  const auto rc = sample_round();
+  const nn::ParamBlob global = model_.save_all();
+  fed::BlobAverager averager;
+  nn::SgdConfig sgd = cfg_.sgd;
+  sgd.lr = lr_at(t);
+
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const std::size_t k = rc.ids[i];
+    const bool can_at =
+        rc.devices.empty() ||
+        static_cast<double>(rc.devices[i].avail_mem_bytes) *
+                cfg2_.device_mem_scale >=
+            static_cast<double>(full_mem_bytes_);
+    ++selections_;
+    at_selections_ += can_at;
+
+    model_.load_all(global);
+    LocalAtConfig at;
+    at.epsilon = cfg_.epsilon0;
+    at.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+    at.adversarial = can_at;
+    at.dual_bn = can_at;
+    nn::Sgd opt(model_.parameters_range(0, model_.num_atoms()),
+                model_.gradients_range(0, model_.num_atoms()), sgd);
+    auto& batches = clients_.batches(k, cfg_.batch_size);
+    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+      at_train_batch(model_, opt, batches.next(), at, clients_.rng(k));
+    averager.add(model_.save_all(), env_->weights[k]);
+
+    fed::ClientWork w;
+    w.atom_begin = 0;
+    w.atom_end = env_->cost_spec.atoms.size();
+    w.with_aux = false;
+    // Standard training on memory-poor clients: 1 forward + 1 backward and
+    // the model may still need swapping if even ST exceeds memory.
+    w.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+    work.push_back(w);
+  }
+  model_.load_all(averager.average());
+  if (!rc.devices.empty())
+    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
+                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+fed::RoundRecord FedRbn::evaluate_snapshot(std::int64_t round,
+                                           std::int64_t max_samples,
+                                           int pgd_steps) {
+  attack::RobustEvalConfig ecfg;
+  ecfg.epsilon = cfg_.epsilon0;
+  ecfg.pgd_steps = pgd_steps;
+  ecfg.max_samples = max_samples;
+  fed::RoundRecord rec;
+  rec.round = round;
+  use_adv_bank(false);
+  rec.clean_acc =
+      attack::evaluate_clean(model_, env_->test, ecfg.batch_size, max_samples);
+  use_adv_bank(true);
+  rec.adv_acc = attack::evaluate_pgd(model_, env_->test, ecfg);
+  use_adv_bank(false);
+  rec.sim_time_s = sim_time().total();
+  return rec;
+}
+
+}  // namespace fp::baselines

@@ -1,0 +1,56 @@
+// FedRBN (Hong et al. 2023): Federated Robustness Propagation.
+//
+// Clients with enough memory run dual-BN adversarial training (clean
+// statistics in bank 0, adversarial statistics in bank 1); memory-poor
+// clients run standard training, updating only the clean bank. FedAvg
+// aggregates parameters and both statistic banks, which propagates the
+// adversarial BN statistics from AT clients to everyone. Clean inference
+// uses bank 0; robust inference uses bank 1. Under high systematic
+// heterogeneity few clients can afford AT, so clean accuracy stays high but
+// robustness collapses — the signature the paper reports in Table 2.
+#pragma once
+
+#include "fed/algorithm.hpp"
+#include "fed/client_pool.hpp"
+
+namespace fp::baselines {
+
+struct FedRbnConfig {
+  fed::FlConfig fl;
+  sys::ModelSpec model_spec;  ///< must contain BatchNorm layers
+  double device_mem_scale = 1.0;
+};
+
+class FedRbn final : public fed::FederatedAlgorithm {
+ public:
+  FedRbn(fed::FedEnv& env, FedRbnConfig cfg);
+
+  std::string name() const override { return "FedRBN"; }
+  models::BuiltModel& global_model() override { return model_; }
+  void run_round(std::int64_t t) override;
+
+  /// Selects the BN bank for evaluation (bank 1 = adversarial).
+  void use_adv_bank(bool adv) { model_.use_bn_bank(adv ? 1 : 0); }
+
+  /// Clean accuracy with the clean bank, adversarial with the adv bank.
+  fed::RoundRecord evaluate_snapshot(std::int64_t round,
+                                     std::int64_t max_samples = 256,
+                                     int pgd_steps = 10) override;
+
+  /// Fraction of client selections that could afford adversarial training.
+  double at_client_fraction() const {
+    return selections_ ? static_cast<double>(at_selections_) /
+                             static_cast<double>(selections_)
+                       : 0.0;
+  }
+
+ private:
+  Rng init_rng_;
+  FedRbnConfig cfg2_;
+  models::BuiltModel model_;
+  std::int64_t full_mem_bytes_;
+  fed::ClientPool clients_;
+  std::int64_t selections_ = 0, at_selections_ = 0;
+};
+
+}  // namespace fp::baselines

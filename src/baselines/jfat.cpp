@@ -1,0 +1,47 @@
+#include "baselines/jfat.hpp"
+
+namespace fp::baselines {
+
+JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
+    : FederatedAlgorithm(env, cfg.fl),
+      init_rng_(cfg.fl.seed ^ 0x1fa7),
+      model_(std::move(cfg.model_spec), init_rng_),
+      adversarial_(cfg.adversarial),
+      clients_(env, cfg.fl.seed) {}
+
+void JFat::run_round(std::int64_t t) {
+  const auto rc = sample_round();
+  const nn::ParamBlob global = model_.save_all();
+
+  fed::BlobAverager averager;
+  LocalAtConfig at;
+  at.epsilon = cfg_.epsilon0;
+  at.pgd_steps = adversarial_ ? cfg_.pgd_steps : 0;
+  at.adversarial = adversarial_;
+  nn::SgdConfig sgd = cfg_.sgd;
+  sgd.lr = lr_at(t);
+
+  std::vector<fed::ClientWork> work;
+  for (const std::size_t k : rc.ids) {
+    model_.load_all(global);
+    nn::Sgd opt(model_.parameters_range(0, model_.num_atoms()),
+                model_.gradients_range(0, model_.num_atoms()), sgd);
+    auto& batches = clients_.batches(k, cfg_.batch_size);
+    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+      at_train_batch(model_, opt, batches.next(), at, clients_.rng(k));
+    averager.add(model_.save_all(), env_->weights[k]);
+
+    fed::ClientWork w;
+    w.atom_begin = 0;
+    w.atom_end = env_->cost_spec.atoms.size();
+    w.with_aux = false;
+    w.pgd_steps = at.pgd_steps;
+    work.push_back(w);
+  }
+  model_.load_all(averager.average());
+  if (!rc.devices.empty())
+    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
+                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+}  // namespace fp::baselines

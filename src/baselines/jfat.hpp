@@ -1,0 +1,34 @@
+// jFAT (Zizzo et al. 2020): joint federated adversarial training.
+// Every client adversarially trains the whole model end-to-end and FedAvg
+// aggregates. On memory-constrained devices this is the method that pays the
+// memory-swapping latency (paper Figs. 2/7).
+#pragma once
+
+#include "baselines/local_at.hpp"
+#include "fed/algorithm.hpp"
+#include "fed/client_pool.hpp"
+
+namespace fp::baselines {
+
+struct JFatConfig {
+  fed::FlConfig fl;
+  sys::ModelSpec model_spec;
+  bool adversarial = true;  ///< false gives plain FedAvg (diagnostics)
+};
+
+class JFat final : public fed::FederatedAlgorithm {
+ public:
+  JFat(fed::FedEnv& env, JFatConfig cfg);
+
+  std::string name() const override { return adversarial_ ? "jFAT" : "FedAvg"; }
+  models::BuiltModel& global_model() override { return model_; }
+  void run_round(std::int64_t t) override;
+
+ private:
+  Rng init_rng_;  ///< seeds weight init (deterministic per cfg.fl.seed)
+  models::BuiltModel model_;
+  bool adversarial_;
+  fed::ClientPool clients_;
+};
+
+}  // namespace fp::baselines

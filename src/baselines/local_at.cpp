@@ -1,0 +1,70 @@
+#include "baselines/local_at.hpp"
+
+#include "attack/attacks.hpp"
+#include "tensor/ops.hpp"
+
+namespace fp::baselines {
+
+namespace {
+/// CE loss/grad through the whole model in training mode with frozen running
+/// stats (attack passes must not pollute BN statistics).
+float whole_model_loss_grad(models::BuiltModel& model, const Tensor& x,
+                            const std::vector<std::int64_t>& y, Tensor* grad_x,
+                            bool track_stats) {
+  model.set_bn_tracking(track_stats);
+  const Tensor logits = model.forward(x, /*train=*/true);
+  const float loss = cross_entropy(logits, y);
+  if (grad_x)
+    *grad_x =
+        model.backward_range(0, model.num_atoms(), cross_entropy_grad(logits, y));
+  model.set_bn_tracking(true);
+  return loss;
+}
+}  // namespace
+
+float at_train_batch(models::BuiltModel& model, nn::Sgd& optimizer,
+                     const data::Batch& batch, const LocalAtConfig& cfg, Rng& rng) {
+  Tensor x_train = batch.x;
+  if (cfg.adversarial && cfg.pgd_steps > 0 && cfg.epsilon > 0.0f) {
+    attack::PgdConfig a;
+    a.epsilon = cfg.epsilon;
+    a.steps = cfg.pgd_steps;
+    if (cfg.dual_bn) model.use_bn_bank(1);
+    auto fn = [&model](const Tensor& xx, const std::vector<std::int64_t>& yy,
+                       Tensor* g) {
+      return whole_model_loss_grad(model, xx, yy, g, /*track_stats=*/false);
+    };
+    x_train = attack::pgd(fn, batch.x, batch.y, a, rng);
+    if (cfg.dual_bn) model.use_bn_bank(0);
+  }
+
+  model.zero_grad_range(0, model.num_atoms());
+  float loss;
+  if (cfg.dual_bn && cfg.adversarial) {
+    // FedRBN-style: clean pass through bank 0, adversarial through bank 1,
+    // gradients accumulate and the losses average.
+    model.use_bn_bank(0);
+    const Tensor clean_logits = model.forward(batch.x, true);
+    const float clean_loss = cross_entropy(clean_logits, batch.y);
+    {
+      Tensor g = cross_entropy_grad(clean_logits, batch.y);
+      g.scale_(0.5f);
+      model.backward_range(0, model.num_atoms(), g);
+    }
+    model.use_bn_bank(1);
+    const Tensor adv_logits = model.forward(x_train, true);
+    const float adv_loss = cross_entropy(adv_logits, batch.y);
+    Tensor g = cross_entropy_grad(adv_logits, batch.y);
+    g.scale_(0.5f);
+    model.backward_range(0, model.num_atoms(), g);
+    model.use_bn_bank(0);
+    loss = 0.5f * (clean_loss + adv_loss);
+  } else {
+    Tensor unused;
+    loss = whole_model_loss_grad(model, x_train, batch.y, &unused, true);
+  }
+  optimizer.step();
+  return loss;
+}
+
+}  // namespace fp::baselines

@@ -1,0 +1,26 @@
+// Local end-to-end (whole-model) adversarial training step, shared by jFAT,
+// the partial-training baselines (on their sliced models), the KD baselines
+// (on their heterogeneous models), and FedRBN (dual-BN variant).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "models/built_model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fp::baselines {
+
+struct LocalAtConfig {
+  float epsilon = 8.0f / 255.0f;
+  int pgd_steps = 7;
+  bool adversarial = true;  ///< false = standard training
+  /// FedRBN dual-BN: clean pass uses bank 0, adversarial pass bank 1, and the
+  /// update averages both losses. Off = single-bank AT on adversarial inputs.
+  bool dual_bn = false;
+};
+
+/// One SGD iteration; returns the training loss. The optimizer must be bound
+/// to the model's full parameter/gradient lists.
+float at_train_batch(models::BuiltModel& model, nn::Sgd& optimizer,
+                     const data::Batch& batch, const LocalAtConfig& cfg, Rng& rng);
+
+}  // namespace fp::baselines

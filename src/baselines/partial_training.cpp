@@ -1,0 +1,84 @@
+#include "baselines/partial_training.hpp"
+
+#include <algorithm>
+
+#include "baselines/local_at.hpp"
+
+namespace fp::baselines {
+
+PartialTrainingFAT::PartialTrainingFAT(fed::FedEnv& env, PartialTrainingConfig cfg)
+    : FederatedAlgorithm(env, cfg.fl),
+      init_rng_(cfg.fl.seed ^ 0x9a27),
+      cfg2_(cfg),
+      model_(cfg.model_spec, init_rng_),
+      full_mem_bytes_(sys::module_train_mem_bytes(
+          cfg.model_spec, 0, cfg.model_spec.atoms.size(), cfg.fl.batch_size,
+          /*with_aux_head=*/false)),
+      clients_(env, cfg.fl.seed) {}
+
+std::string PartialTrainingFAT::name() const {
+  switch (cfg2_.scheme) {
+    case models::SliceScheme::kStatic: return "HeteroFL-AT";
+    case models::SliceScheme::kRandom: return "FedDrop-AT";
+    case models::SliceScheme::kRolling: return "FedRolex-AT";
+  }
+  return "PartialTraining-AT";
+}
+
+double PartialTrainingFAT::ratio_for_mem(std::int64_t avail_mem_bytes) const {
+  const double scaled =
+      static_cast<double>(avail_mem_bytes) * cfg2_.device_mem_scale;
+  const double r = scaled / static_cast<double>(full_mem_bytes_);
+  return std::clamp(r, cfg2_.min_ratio, 1.0);
+}
+
+void PartialTrainingFAT::run_round(std::int64_t t) {
+  const auto rc = sample_round();
+  fed::PartialAccumulator acc(model_);
+  acc.reset();
+
+  LocalAtConfig at;
+  at.epsilon = cfg_.epsilon0;
+  at.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
+  at.adversarial = cfg2_.adversarial;
+  nn::SgdConfig sgd = cfg_.sgd;
+  sgd.lr = lr_at(t);
+
+  std::vector<fed::ClientWork> work;
+  Rng slice_rng(cfg_.seed + 31 * static_cast<std::uint64_t>(t));
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const std::size_t k = rc.ids[i];
+    const double ratio = rc.devices.empty()
+                             ? 1.0
+                             : ratio_for_mem(rc.devices[i].avail_mem_bytes);
+    const auto plan = models::make_slice_plan(model_.spec(), ratio, cfg2_.scheme,
+                                              t, slice_rng);
+    Rng build_rng(cfg_.seed + 77 * static_cast<std::uint64_t>(t) + k);
+    models::BuiltModel sliced(plan.sliced_spec, build_rng);
+    models::gather_weights(model_.spec(), plan, model_, sliced);
+
+    nn::Sgd opt(sliced.parameters_range(0, sliced.num_atoms()),
+                sliced.gradients_range(0, sliced.num_atoms()), sgd);
+    auto& batches = clients_.batches(k, cfg_.batch_size);
+    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+      at_train_batch(sliced, opt, batches.next(), at, clients_.rng(k));
+
+    for (std::size_t a = 0; a < model_.num_atoms(); ++a)
+      acc.add_sliced_atom(plan, sliced, a, env_->weights[k]);
+
+    fed::ClientWork w;
+    w.atom_begin = 0;
+    w.atom_end = env_->cost_spec.atoms.size();
+    w.with_aux = false;
+    w.pgd_steps = at.pgd_steps;
+    w.mem_scale = ratio;          // sub-model fits: no swapping
+    w.flops_scale = ratio * ratio;
+    work.push_back(w);
+  }
+  acc.finalize_into(model_);
+  if (!rc.devices.empty())
+    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
+                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+}  // namespace fp::baselines

@@ -1,0 +1,44 @@
+// Partial-training FAT baselines: HeteroFL-AT (static slice), FedDrop-AT
+// (random slice), FedRolex-AT (rolling slice). Each client adversarially
+// trains a channel-sliced sub-model whose width ratio matches its available
+// memory; the server partial-averages sub-models into the global network.
+#pragma once
+
+#include "fed/algorithm.hpp"
+#include "fed/client_pool.hpp"
+#include "models/slicing.hpp"
+
+namespace fp::baselines {
+
+struct PartialTrainingConfig {
+  fed::FlConfig fl;
+  sys::ModelSpec model_spec;
+  models::SliceScheme scheme = models::SliceScheme::kStatic;
+  /// Device memory multiplier mapping the paper-scale fleet onto the scaled
+  /// trainable model (as in FedProphetConfig::device_mem_scale).
+  double device_mem_scale = 1.0;
+  double min_ratio = 0.25;  ///< floor on the width ratio
+  bool adversarial = true;
+};
+
+class PartialTrainingFAT final : public fed::FederatedAlgorithm {
+ public:
+  PartialTrainingFAT(fed::FedEnv& env, PartialTrainingConfig cfg);
+
+  std::string name() const override;
+  models::BuiltModel& global_model() override { return model_; }
+  void run_round(std::int64_t t) override;
+
+  /// Width ratio a device budget affords (memory scales ~ratio for the
+  /// activation-dominated regime): ratio = min(1, R_k / R_full).
+  double ratio_for_mem(std::int64_t avail_mem_bytes) const;
+
+ private:
+  Rng init_rng_;
+  PartialTrainingConfig cfg2_;
+  models::BuiltModel model_;
+  std::int64_t full_mem_bytes_;
+  fed::ClientPool clients_;
+};
+
+}  // namespace fp::baselines

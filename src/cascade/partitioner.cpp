@@ -1,0 +1,75 @@
+#include "cascade/partitioner.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fp::cascade {
+
+namespace {
+std::int64_t range_mem(const sys::ModelSpec& model, std::size_t begin,
+                       std::size_t end, std::int64_t batch) {
+  const bool is_last = end == model.atoms.size();
+  return sys::module_train_mem_bytes(model, begin, end, batch,
+                                     /*with_aux_head=*/!is_last);
+}
+}  // namespace
+
+Partition partition_model(const sys::ModelSpec& model, std::int64_t rmin_bytes,
+                          std::int64_t batch_size) {
+  if (model.atoms.empty()) throw std::invalid_argument("partition: empty model");
+  Partition p;
+  p.rmin_bytes = rmin_bytes;
+  p.batch_size = batch_size;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < model.atoms.size(); ++i) {
+    // Try to extend the current module [begin, i] by atom i.
+    if (i > begin && range_mem(model, begin, i + 1, batch_size) > rmin_bytes) {
+      p.modules.push_back({begin, i, false});
+      begin = i;
+    }
+  }
+  p.modules.push_back({begin, model.atoms.size(), true});
+  // Mark is_last correctly (only the final range).
+  for (std::size_t m = 0; m + 1 < p.modules.size(); ++m)
+    p.modules[m].is_last = false;
+  return p;
+}
+
+std::int64_t module_mem_bytes(const sys::ModelSpec& model, const Partition& p,
+                              std::size_t module_index) {
+  const auto& mod = p.modules.at(module_index);
+  return range_mem(model, mod.begin, mod.end, p.batch_size);
+}
+
+std::int64_t module_macs(const sys::ModelSpec& model, const Partition& p,
+                         std::size_t module_index) {
+  const auto& mod = p.modules.at(module_index);
+  return sys::module_forward_macs(model, mod.begin, mod.end, p.batch_size,
+                                  /*with_aux_head=*/!mod.is_last);
+}
+
+std::string format_partition(const sys::ModelSpec& model, const Partition& p) {
+  std::ostringstream os;
+  os << "Model: " << model.name << "  (Rmin = "
+     << static_cast<double>(p.rmin_bytes) / (1 << 20) << " MB, batch "
+     << p.batch_size << ")\n";
+  os << "Module | Atoms                          | Mem. Req. | Fwd MACs\n";
+  for (std::size_t m = 0; m < p.modules.size(); ++m) {
+    const auto& mod = p.modules[m];
+    std::string names;
+    for (std::size_t a = mod.begin; a < mod.end; ++a) {
+      if (!names.empty()) names += ", ";
+      names += model.atoms[a].name;
+    }
+    if (names.size() > 30) names = names.substr(0, 27) + "...";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%6zu | %-30s | %6.1f MB | %6.2f G\n", m + 1,
+                  names.c_str(),
+                  static_cast<double>(module_mem_bytes(model, p, m)) / (1 << 20),
+                  static_cast<double>(module_macs(model, p, m)) / 1e9);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace fp::cascade

@@ -1,0 +1,52 @@
+// Memory-constrained model partitioner (paper Algorithm 1, §6.1).
+//
+// Greedily packs consecutive atoms into modules such that training any
+// single module (with its auxiliary head) fits in the minimal reserved
+// memory Rmin. This yields the least number of modules for the greedy
+// traversal order, so memory-constrained clients never swap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sysmodel/cost_model.hpp"
+#include "sysmodel/layer_spec.hpp"
+
+namespace fp::cascade {
+
+struct ModuleRange {
+  std::size_t begin = 0;  ///< first atom index
+  std::size_t end = 0;    ///< one past the last atom index
+  bool is_last = false;   ///< last module trains with the real output (l_M = l)
+
+  std::size_t num_atoms() const { return end - begin; }
+};
+
+struct Partition {
+  std::vector<ModuleRange> modules;
+  std::int64_t rmin_bytes = 0;
+  std::int64_t batch_size = 0;
+
+  std::size_t num_modules() const { return modules.size(); }
+};
+
+/// Greedy Algorithm 1: append atoms to the current module while the training
+/// memory requirement (module + auxiliary head, batch included) stays below
+/// Rmin. An atom that alone exceeds Rmin becomes its own module (training it
+/// will swap; the paper's Rmin is chosen so this does not happen).
+Partition partition_model(const sys::ModelSpec& model, std::int64_t rmin_bytes,
+                          std::int64_t batch_size);
+
+/// Memory requirement of training one module of the partition.
+std::int64_t module_mem_bytes(const sys::ModelSpec& model, const Partition& p,
+                              std::size_t module_index);
+
+/// Forward MACs of one batch through one module (incl. aux head).
+std::int64_t module_macs(const sys::ModelSpec& model, const Partition& p,
+                         std::size_t module_index);
+
+/// Human-readable table of the partition (paper Tables 7/8 format).
+std::string format_partition(const sys::ModelSpec& model, const Partition& p);
+
+}  // namespace fp::cascade

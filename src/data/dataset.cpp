@@ -1,0 +1,90 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fp::data {
+
+Dataset Dataset::subset(const std::vector<std::int64_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  if (indices.empty()) return out;
+  std::vector<std::int64_t> shape = images.shape();
+  shape[0] = static_cast<std::int64_t>(indices.size());
+  out.images = Tensor(shape);
+  out.labels.reserve(indices.size());
+  const std::int64_t per = images.numel() / images.dim(0);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t src = indices[i];
+    if (src < 0 || src >= size()) throw std::out_of_range("Dataset::subset");
+    std::copy_n(images.data() + src * per, per,
+                out.images.data() + static_cast<std::int64_t>(i) * per);
+    out.labels.push_back(labels[static_cast<std::size_t>(src)]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.size() == 0) return;
+  if (size() == 0) {
+    *this = other;
+    return;
+  }
+  if (images.ndim() != other.images.ndim())
+    throw std::invalid_argument("Dataset::append: rank mismatch");
+  std::vector<std::int64_t> shape = images.shape();
+  shape[0] += other.images.dim(0);
+  Tensor merged(shape);
+  std::copy_n(images.data(), images.numel(), merged.data());
+  std::copy_n(other.images.data(), other.images.numel(),
+              merged.data() + images.numel());
+  images = std::move(merged);
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+std::vector<std::int64_t> Dataset::class_histogram() const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(num_classes), 0);
+  for (const auto y : labels) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::int64_t batch_size,
+                             Rng& rng)
+    : dataset_(dataset),
+      batch_size_(std::min<std::int64_t>(batch_size, std::max<std::int64_t>(
+                                                         1, dataset.size()))),
+      rng_(rng) {
+  if (dataset_.size() == 0) throw std::invalid_argument("BatchIterator: empty dataset");
+  order_.resize(static_cast<std::size_t>(dataset_.size()));
+  for (std::size_t i = 0; i < order_.size(); ++i)
+    order_[i] = static_cast<std::int64_t>(i);
+  reshuffle();
+}
+
+void BatchIterator::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::int64_t BatchIterator::batches_per_epoch() const {
+  return std::max<std::int64_t>(1, dataset_.size() / batch_size_);
+}
+
+Batch BatchIterator::next() {
+  if (cursor_ + batch_size_ > dataset_.size()) reshuffle();
+  std::vector<std::int64_t> idx(order_.begin() + cursor_,
+                                order_.begin() + cursor_ + batch_size_);
+  cursor_ += batch_size_;
+  const Dataset sub = dataset_.subset(idx);
+  return {sub.images, sub.labels};
+}
+
+Batch take_batch(const Dataset& dataset, std::int64_t start, std::int64_t count) {
+  count = std::min(count, dataset.size() - start);
+  Batch b;
+  b.x = dataset.images.slice_rows(start, count);
+  b.y.assign(dataset.labels.begin() + start, dataset.labels.begin() + start + count);
+  return b;
+}
+
+}  // namespace fp::data

@@ -1,0 +1,56 @@
+// In-memory labeled image dataset and batching utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fp::data {
+
+struct Dataset {
+  Tensor images;                     ///< [N, C, H, W], pixel values in [0, 1]
+  std::vector<std::int64_t> labels;  ///< class index per sample
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+
+  /// Gathers the given sample indices into a new dataset.
+  Dataset subset(const std::vector<std::int64_t>& indices) const;
+
+  /// Appends another dataset (shapes must agree).
+  void append(const Dataset& other);
+
+  /// Per-class sample counts.
+  std::vector<std::int64_t> class_histogram() const;
+};
+
+struct Batch {
+  Tensor x;                          ///< [B, C, H, W]
+  std::vector<std::int64_t> y;
+};
+
+/// Shuffling mini-batch iterator. Reshuffles on every epoch() call.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::int64_t batch_size, Rng& rng);
+
+  /// Returns the next batch, wrapping around (and reshuffling) at the end of
+  /// an epoch. Batches are full-size; the tail remainder joins the reshuffle.
+  Batch next();
+
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  void reshuffle();
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  Rng& rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+/// Gathers samples [start, start+count) in the dataset's natural order.
+Batch take_batch(const Dataset& dataset, std::int64_t start, std::int64_t count);
+
+}  // namespace fp::data

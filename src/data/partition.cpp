@@ -1,0 +1,134 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fp::data {
+
+namespace {
+/// Per-class index queues, shuffled.
+std::vector<std::vector<std::int64_t>> class_queues(const Dataset& ds, Rng& rng) {
+  std::vector<std::vector<std::int64_t>> queues(
+      static_cast<std::size_t>(ds.num_classes));
+  for (std::int64_t i = 0; i < ds.size(); ++i)
+    queues[static_cast<std::size_t>(ds.labels[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  for (auto& q : queues) rng.shuffle(q);
+  return queues;
+}
+
+std::int64_t pop_from(std::vector<std::vector<std::int64_t>>& queues,
+                      std::size_t cls) {
+  auto& q = queues[cls];
+  if (q.empty()) return -1;
+  const std::int64_t idx = q.back();
+  q.pop_back();
+  return idx;
+}
+
+/// Pops from any non-empty queue, preferring the fullest (keeps balance).
+std::int64_t pop_any(std::vector<std::vector<std::int64_t>>& queues) {
+  std::size_t best = queues.size();
+  std::size_t best_size = 0;
+  for (std::size_t c = 0; c < queues.size(); ++c)
+    if (queues[c].size() > best_size) {
+      best = c;
+      best_size = queues[c].size();
+    }
+  if (best == queues.size()) return -1;
+  return pop_from(queues, best);
+}
+}  // namespace
+
+std::vector<Dataset> partition_non_iid(const Dataset& train,
+                                       const PartitionConfig& cfg) {
+  if (cfg.num_clients <= 0) throw std::invalid_argument("partition: no clients");
+  Rng rng(cfg.seed);
+  auto queues = class_queues(train, rng);
+  const std::int64_t classes = train.num_classes;
+  const auto majors_per_client = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(cfg.major_class_fraction * static_cast<double>(classes))));
+
+  // Assign major classes cyclically from a shuffled class order so that every
+  // class is major for roughly the same number of clients.
+  std::vector<std::int64_t> class_order(static_cast<std::size_t>(classes));
+  for (std::size_t i = 0; i < class_order.size(); ++i)
+    class_order[i] = static_cast<std::int64_t>(i);
+  rng.shuffle(class_order);
+
+  const std::int64_t base_shard = train.size() / cfg.num_clients;
+  std::vector<std::vector<std::int64_t>> shards(
+      static_cast<std::size_t>(cfg.num_clients));
+  std::int64_t cursor = 0;
+  for (std::int64_t k = 0; k < cfg.num_clients; ++k) {
+    std::vector<std::int64_t> majors;
+    for (std::int64_t j = 0; j < majors_per_client; ++j) {
+      majors.push_back(class_order[static_cast<std::size_t>(
+          (cursor + j) % classes)]);
+    }
+    cursor += majors_per_client;
+    const auto major_take = static_cast<std::int64_t>(
+        std::llround(cfg.major_data_fraction * static_cast<double>(base_shard)));
+    auto& shard = shards[static_cast<std::size_t>(k)];
+    // 80%: round-robin over the client's major classes.
+    for (std::int64_t i = 0; i < major_take; ++i) {
+      const auto cls = static_cast<std::size_t>(
+          majors[static_cast<std::size_t>(i) % majors.size()]);
+      std::int64_t idx = pop_from(queues, cls);
+      if (idx < 0) idx = pop_any(queues);
+      if (idx < 0) break;
+      shard.push_back(idx);
+    }
+    // 20%: anything else (the fullest remaining queues).
+    for (std::int64_t i = major_take; i < base_shard; ++i) {
+      const std::int64_t idx = pop_any(queues);
+      if (idx < 0) break;
+      shard.push_back(idx);
+    }
+  }
+  // Deal any leftovers round-robin.
+  std::int64_t k = 0;
+  for (std::int64_t idx = pop_any(queues); idx >= 0; idx = pop_any(queues)) {
+    shards[static_cast<std::size_t>(k % cfg.num_clients)].push_back(idx);
+    ++k;
+  }
+
+  std::vector<Dataset> out;
+  out.reserve(shards.size());
+  for (const auto& shard : shards) out.push_back(train.subset(shard));
+  return out;
+}
+
+std::vector<Dataset> partition_iid(const Dataset& train, std::int64_t num_clients,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::int64_t>(i);
+  rng.shuffle(order);
+  std::vector<Dataset> out;
+  const std::int64_t per = train.size() / num_clients;
+  for (std::int64_t c = 0; c < num_clients; ++c) {
+    std::vector<std::int64_t> shard(
+        order.begin() + c * per,
+        order.begin() + (c + 1 == num_clients ? train.size() : (c + 1) * per));
+    out.push_back(train.subset(shard));
+  }
+  return out;
+}
+
+PublicSplit split_public(const Dataset& train, double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  auto queues = class_queues(train, rng);
+  std::vector<std::int64_t> public_idx, rest_idx;
+  for (auto& q : queues) {
+    const auto take = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(q.size())));
+    for (std::size_t i = 0; i < q.size(); ++i)
+      (i < take ? public_idx : rest_idx).push_back(q[i]);
+  }
+  return {train.subset(public_idx), train.subset(rest_idx)};
+}
+
+}  // namespace fp::data

@@ -1,0 +1,38 @@
+// Federated data partitioning.
+//
+// Reproduces the statistical heterogeneity of the paper (§7.1, following
+// Shah et al. 2021): on each client, 80% of the local data belongs to ~20%
+// of the classes ("major" classes) and 20% to the remaining classes. Also
+// provides the public-set split used by the knowledge-distillation baselines
+// (~10% of the training data, paper §B.4).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace fp::data {
+
+struct PartitionConfig {
+  std::int64_t num_clients = 100;
+  double major_class_fraction = 0.2;  ///< ~20% of classes are major per client
+  double major_data_fraction = 0.8;   ///< 80% of local data from major classes
+  std::uint64_t seed = 7;
+};
+
+/// Splits `train` into per-client shards with the 80/20 non-IID skew.
+/// Every sample is assigned to exactly one client.
+std::vector<Dataset> partition_non_iid(const Dataset& train,
+                                       const PartitionConfig& cfg);
+
+/// Uniform IID partition (diagnostic baseline).
+std::vector<Dataset> partition_iid(const Dataset& train, std::int64_t num_clients,
+                                   std::uint64_t seed);
+
+struct PublicSplit {
+  Dataset public_set;  ///< server-side distillation data
+  Dataset remainder;   ///< what the clients partition among themselves
+};
+
+/// Holds out a class-stratified `fraction` of the dataset as the public set.
+PublicSplit split_public(const Dataset& train, double fraction, std::uint64_t seed);
+
+}  // namespace fp::data

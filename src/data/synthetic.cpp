@@ -1,0 +1,152 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp::data {
+
+namespace {
+
+/// Bilinearly upsamples a coarse [C, K, K] grid to [C, S, S], giving smooth
+/// low-frequency class templates.
+Tensor upsample_bilinear(const Tensor& coarse, std::int64_t s) {
+  const std::int64_t c = coarse.dim(0), k = coarse.dim(1);
+  Tensor out({c, s, s});
+  const float scale = static_cast<float>(k - 1) / static_cast<float>(s - 1);
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t y = 0; y < s; ++y)
+      for (std::int64_t x = 0; x < s; ++x) {
+        const float fy = static_cast<float>(y) * scale;
+        const float fx = static_cast<float>(x) * scale;
+        const std::int64_t y0 = static_cast<std::int64_t>(fy);
+        const std::int64_t x0 = static_cast<std::int64_t>(fx);
+        const std::int64_t y1 = std::min(y0 + 1, k - 1);
+        const std::int64_t x1 = std::min(x0 + 1, k - 1);
+        const float wy = fy - static_cast<float>(y0);
+        const float wx = fx - static_cast<float>(x0);
+        const float v00 = coarse[(ch * k + y0) * k + x0],
+                    v01 = coarse[(ch * k + y0) * k + x1],
+                    v10 = coarse[(ch * k + y1) * k + x0],
+                    v11 = coarse[(ch * k + y1) * k + x1];
+        out[(ch * s + y) * s + x] = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                                    wy * ((1 - wx) * v10 + wx * v11);
+      }
+  return out;
+}
+
+/// Renders one sample: shifted template + brightness jitter + pixel noise.
+void render_sample(const Tensor& tmpl, std::int64_t c, std::int64_t s,
+                   const SyntheticConfig& cfg, Rng& rng, float* dst) {
+  const std::int64_t shift_y =
+      cfg.max_shift > 0
+          ? static_cast<std::int64_t>(rng.uniform_int(
+                static_cast<std::uint64_t>(2 * cfg.max_shift + 1))) - cfg.max_shift
+          : 0;
+  const std::int64_t shift_x =
+      cfg.max_shift > 0
+          ? static_cast<std::int64_t>(rng.uniform_int(
+                static_cast<std::uint64_t>(2 * cfg.max_shift + 1))) - cfg.max_shift
+          : 0;
+  const float brightness = rng.uniform(0.85f, 1.15f);
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t y = 0; y < s; ++y)
+      for (std::int64_t x = 0; x < s; ++x) {
+        const std::int64_t sy = std::clamp<std::int64_t>(y + shift_y, 0, s - 1);
+        const std::int64_t sx = std::clamp<std::int64_t>(x + shift_x, 0, s - 1);
+        float v = brightness * tmpl[(ch * s + sy) * s + sx] +
+                  rng.gaussian(0.0f, cfg.noise_std);
+        dst[(ch * s + y) * s + x] = std::clamp(v, 0.0f, 1.0f);
+      }
+}
+
+Dataset render_split(const std::vector<Tensor>& templates,
+                     const std::vector<std::int64_t>& class_counts,
+                     const SyntheticConfig& cfg, Rng& rng) {
+  std::int64_t total = 0;
+  for (const auto n : class_counts) total += n;
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.images = Tensor({total, cfg.channels, cfg.image_size, cfg.image_size});
+  ds.labels.reserve(static_cast<std::size_t>(total));
+  const std::int64_t per = cfg.channels * cfg.image_size * cfg.image_size;
+  std::int64_t row = 0;
+  for (std::int64_t cls = 0; cls < cfg.num_classes; ++cls)
+    for (std::int64_t i = 0; i < class_counts[static_cast<std::size_t>(cls)]; ++i) {
+      render_sample(templates[static_cast<std::size_t>(cls)], cfg.channels,
+                    cfg.image_size, cfg, rng, ds.images.data() + row * per);
+      ds.labels.push_back(cls);
+      ++row;
+    }
+  // Shuffle the rendered samples so class order carries no information.
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<std::int64_t>(i);
+  rng.shuffle(perm);
+  return ds.subset(perm);
+}
+
+std::vector<std::int64_t> split_counts(const SyntheticConfig& cfg,
+                                       std::int64_t total) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(cfg.num_classes), 0);
+  if (!cfg.unbalanced_classes) {
+    for (auto& c : counts) c = total / cfg.num_classes;
+    counts[0] += total - (total / cfg.num_classes) * cfg.num_classes;
+    return counts;
+  }
+  // Zipf-like class sizes: class i gets weight 1/(1 + i/4).
+  double denom = 0.0;
+  for (std::int64_t i = 0; i < cfg.num_classes; ++i)
+    denom += 1.0 / (1.0 + static_cast<double>(i) / 4.0);
+  std::int64_t assigned = 0;
+  for (std::int64_t i = 0; i < cfg.num_classes; ++i) {
+    const double w = (1.0 / (1.0 + static_cast<double>(i) / 4.0)) / denom;
+    counts[static_cast<std::size_t>(i)] = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(static_cast<double>(total) * w));
+    assigned += counts[static_cast<std::size_t>(i)];
+  }
+  // Trim/top-up the largest class to hit the requested total.
+  counts[0] += total - assigned;
+  if (counts[0] < 2) counts[0] = 2;
+  return counts;
+}
+
+}  // namespace
+
+TrainTest make_synthetic(const SyntheticConfig& cfg) {
+  Rng rng(cfg.seed);
+  const auto k = static_cast<std::int64_t>(cfg.template_coarseness);
+  std::vector<Tensor> templates;
+  templates.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (std::int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    Tensor coarse = Tensor::rand_uniform({cfg.channels, k, k}, rng, 0.15f, 0.85f);
+    templates.push_back(upsample_bilinear(coarse, cfg.image_size));
+  }
+  TrainTest out;
+  out.train = render_split(templates, split_counts(cfg, cfg.train_size), cfg, rng);
+  out.test = render_split(templates, split_counts(cfg, cfg.test_size), cfg, rng);
+  return out;
+}
+
+SyntheticConfig synth_cifar_config() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 10;
+  cfg.image_size = 16;
+  cfg.train_size = 4000;
+  cfg.test_size = 1000;
+  cfg.noise_std = 0.10f;
+  cfg.seed = 42;
+  return cfg;
+}
+
+SyntheticConfig synth_caltech_config() {
+  SyntheticConfig cfg;
+  cfg.num_classes = 32;
+  cfg.image_size = 16;
+  cfg.train_size = 3200;
+  cfg.test_size = 800;
+  cfg.noise_std = 0.14f;
+  cfg.unbalanced_classes = true;
+  cfg.seed = 1337;
+  return cfg;
+}
+
+}  // namespace fp::data

@@ -1,0 +1,44 @@
+// Synthetic image-classification datasets.
+//
+// CIFAR-10 and Caltech-256 are not available offline, so the accuracy-plane
+// experiments run on synthetic stand-ins that exercise the same code paths
+// and — crucially — exhibit a genuine utility/robustness trade-off:
+//   * each class has a smooth low-frequency template (the "robust" feature),
+//   * samples add per-sample high-frequency noise and brightness/shift
+//     jitter (the "brittle" features a standard model can overfit to),
+// so PGD attacks measurably reduce accuracy and adversarial training
+// measurably restores it at some clean-accuracy cost (see DESIGN.md §1).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace fp::data {
+
+struct SyntheticConfig {
+  std::int64_t num_classes = 10;
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  std::int64_t train_size = 4000;
+  std::int64_t test_size = 1000;
+  float noise_std = 0.10f;       ///< per-pixel Gaussian noise
+  std::int64_t max_shift = 2;    ///< random template translation (pixels)
+  float template_coarseness = 4; ///< template is a KxK grid upsampled bilinearly
+  bool unbalanced_classes = false;  ///< Zipf-like class sizes (Caltech flavour)
+  std::uint64_t seed = 42;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates a train/test pair from class templates shared by both splits.
+TrainTest make_synthetic(const SyntheticConfig& cfg);
+
+/// 10-class, 3x16x16, balanced — the CIFAR-10 stand-in.
+SyntheticConfig synth_cifar_config();
+
+/// 32-class, 3x16x16, unbalanced and noisier — the Caltech-256 stand-in.
+SyntheticConfig synth_caltech_config();
+
+}  // namespace fp::data

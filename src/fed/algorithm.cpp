@@ -1,0 +1,39 @@
+#include "fed/algorithm.hpp"
+
+namespace fp::fed {
+
+void FederatedAlgorithm::run(std::int64_t eval_every) {
+  for (std::int64_t t = 0; t < cfg_.rounds; ++t) {
+    run_round(t);
+    if (eval_every > 0 && (t + 1) % eval_every == 0)
+      history_.push_back(evaluate_snapshot(t + 1));
+  }
+  if (history_.empty() || history_.back().round != cfg_.rounds)
+    history_.push_back(evaluate_snapshot(cfg_.rounds));
+}
+
+RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
+                                                  std::int64_t max_samples,
+                                                  int pgd_steps) {
+  attack::RobustEvalConfig ecfg;
+  ecfg.epsilon = cfg_.epsilon0;
+  ecfg.pgd_steps = pgd_steps;
+  ecfg.max_samples = max_samples;
+  RoundRecord rec;
+  rec.round = round;
+  rec.clean_acc = attack::evaluate_clean(global_model(), env_->test,
+                                         ecfg.batch_size, max_samples);
+  rec.adv_acc = attack::evaluate_pgd(global_model(), env_->test, ecfg);
+  rec.sim_time_s = sim_time_.total();
+  return rec;
+}
+
+FederatedAlgorithm::RoundClients FederatedAlgorithm::sample_round() {
+  RoundClients rc;
+  rc.ids = sampler_.sample(cfg_.clients_per_round);
+  if (env_->devices)
+    rc.devices = env_->devices->sample_n(rc.ids.size());
+  return rc;
+}
+
+}  // namespace fp::fed

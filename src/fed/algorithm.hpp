@@ -1,0 +1,69 @@
+// Base class for federated training algorithms (jFAT, the memory-efficient
+// baselines, and FedProphet). Provides the round loop scaffolding, learning-
+// rate schedule, client sampling, simulated-time accumulation, and periodic
+// global evaluation; subclasses implement run_round().
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "attack/evaluate.hpp"
+#include "fed/aggregator.hpp"
+#include "fed/env.hpp"
+#include "fed/sampler.hpp"
+
+namespace fp::fed {
+
+class FederatedAlgorithm {
+ public:
+  FederatedAlgorithm(FedEnv& env, FlConfig cfg)
+      : env_(&env),
+        cfg_(cfg),
+        sampler_(env.num_clients(), cfg.seed + 11),
+        local_rng_(cfg.seed + 13) {}
+  virtual ~FederatedAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The model the server would deploy (used by the evaluation harness).
+  virtual models::BuiltModel& global_model() = 0;
+
+  /// One communication round at index t.
+  virtual void run_round(std::int64_t t) = 0;
+
+  /// Full training: cfg.rounds rounds, evaluating every `eval_every` rounds
+  /// (0 = only at the end).
+  void run(std::int64_t eval_every = 0);
+
+  const History& history() const { return history_; }
+  const TimeBreakdown& sim_time() const { return sim_time_; }
+
+  /// Clean + PGD accuracy snapshot of the global model on the test set.
+  virtual RoundRecord evaluate_snapshot(std::int64_t round,
+                                        std::int64_t max_samples = 256,
+                                        int pgd_steps = 10);
+
+ protected:
+  float lr_at(std::int64_t t) const {
+    return cfg_.lr0 * std::pow(cfg_.lr_decay, static_cast<float>(t));
+  }
+
+  /// Samples the round's participants and (if a device pool exists) their
+  /// real-time device availability.
+  struct RoundClients {
+    std::vector<std::size_t> ids;
+    std::vector<sys::DeviceInstance> devices;
+  };
+  RoundClients sample_round();
+
+  void add_sim_time(const TimeBreakdown& t) { sim_time_ += t; }
+
+  FedEnv* env_;
+  FlConfig cfg_;
+  ClientSampler sampler_;
+  Rng local_rng_;
+  History history_;
+  TimeBreakdown sim_time_;
+};
+
+}  // namespace fp::fed

@@ -1,0 +1,37 @@
+// Per-client runtime state (RNG stream + persistent shuffling batch
+// iterator), shared by every federated algorithm.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "fed/env.hpp"
+
+namespace fp::fed {
+
+class ClientPool {
+ public:
+  ClientPool(const FedEnv& env, std::uint64_t seed) : env_(&env) {
+    state_.resize(static_cast<std::size_t>(env.num_clients()));
+    for (std::size_t k = 0; k < state_.size(); ++k)
+      state_[k].rng = Rng(seed + 5000 + k);
+  }
+
+  Rng& rng(std::size_t k) { return state_[k].rng; }
+
+  data::BatchIterator& batches(std::size_t k, std::int64_t batch_size) {
+    auto& s = state_[k];
+    if (!s.batches) s.batches.emplace(env_->shards[k], batch_size, s.rng);
+    return *s.batches;
+  }
+
+ private:
+  struct State {
+    Rng rng;
+    std::optional<data::BatchIterator> batches;
+  };
+  const FedEnv* env_;
+  std::vector<State> state_;
+};
+
+}  // namespace fp::fed

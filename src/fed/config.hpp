@@ -1,0 +1,49 @@
+// Shared federated-learning experiment configuration and bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "sysmodel/cost_model.hpp"
+#include "sysmodel/device.hpp"
+
+namespace fp::fed {
+
+struct FlConfig {
+  std::int64_t num_clients = 20;        ///< N (paper: 100)
+  std::int64_t clients_per_round = 5;   ///< C (paper: 10)
+  std::int64_t local_iters = 10;        ///< E local SGD steps (paper: 30)
+  std::int64_t batch_size = 32;         ///< B (paper: 64 / 32)
+  std::int64_t rounds = 50;             ///< paper: 500 jFAT / 1000 others
+  float lr0 = 0.01f;
+  float lr_decay = 0.994f;              ///< per-round exponential decay (§B.4)
+  nn::SgdConfig sgd{0.01f, 0.9f, 1e-4f};
+  int pgd_steps = 7;                    ///< PGD-n adversarial training (paper: 10)
+  float epsilon0 = 8.0f / 255.0f;       ///< input perturbation bound (§7.1)
+  std::uint64_t seed = 123;
+};
+
+/// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).
+struct TimeBreakdown {
+  double compute_s = 0.0;
+  double access_s = 0.0;
+  double total() const { return compute_s + access_s; }
+  void operator+=(const TimeBreakdown& other) {
+    compute_s += other.compute_s;
+    access_s += other.access_s;
+  }
+};
+
+/// One evaluation snapshot along training.
+struct RoundRecord {
+  std::int64_t round = 0;
+  double clean_acc = 0.0;
+  double adv_acc = 0.0;
+  double sim_time_s = 0.0;  ///< cumulative simulated wall clock
+  double extra = 0.0;       ///< algorithm-specific scalar (e.g. eps per dim)
+};
+
+using History = std::vector<RoundRecord>;
+
+}  // namespace fp::fed

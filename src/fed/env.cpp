@@ -1,0 +1,67 @@
+#include "fed/env.hpp"
+
+#include <stdexcept>
+
+namespace fp::fed {
+
+FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
+                sys::ModelSpec cost_spec) {
+  FedEnv env;
+  env.test = data.test;
+  env.cost_spec = std::move(cost_spec);
+  env.cost_cfg.batch_size = cfg.fl.batch_size;
+  env.cost_cfg.pgd_steps = cfg.fl.pgd_steps;
+
+  data::Dataset train_pool = data.train;
+  if (cfg.with_public_set) {
+    auto split = data::split_public(data.train, cfg.public_fraction, cfg.fl.seed);
+    env.public_set = std::move(split.public_set);
+    train_pool = std::move(split.remainder);
+  }
+  data::PartitionConfig pcfg;
+  pcfg.num_clients = cfg.fl.num_clients;
+  pcfg.seed = cfg.fl.seed + 1;
+  env.shards = data::partition_non_iid(train_pool, pcfg);
+
+  float total = 0.0f;
+  for (const auto& shard : env.shards) total += static_cast<float>(shard.size());
+  env.weights.reserve(env.shards.size());
+  for (const auto& shard : env.shards)
+    env.weights.push_back(static_cast<float>(shard.size()) / total);
+
+  const auto& pool = cfg.cifar_pool ? sys::cifar_device_pool()
+                                    : sys::caltech_device_pool();
+  env.devices.emplace(pool, cfg.heterogeneity, cfg.fl.seed + 2);
+  return env;
+}
+
+TimeBreakdown simulate_round_time(const sys::ModelSpec& spec,
+                                  const std::vector<sys::DeviceInstance>& devices,
+                                  const std::vector<ClientWork>& work,
+                                  const sys::TrainCostConfig& base_cfg,
+                                  std::int64_t local_iters) {
+  if (devices.size() != work.size())
+    throw std::invalid_argument("simulate_round_time: size mismatch");
+  TimeBreakdown slowest;
+  double slowest_total = -1.0;
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    sys::TrainCostConfig cfg = base_cfg;
+    cfg.pgd_steps = work[k].pgd_steps;
+    cfg.mem_scale = work[k].mem_scale;
+    cfg.flops_scale = work[k].flops_scale;
+    const sys::StepCost cost = sys::train_step_cost(
+        spec, work[k].atom_begin, work[k].atom_end, work[k].with_aux, cfg,
+        devices[k].avail_mem_bytes);
+    const sys::StepTime t =
+        sys::step_time(cost, devices[k].avail_flops, devices[k].io_bytes_per_s, cfg);
+    const double total = static_cast<double>(local_iters) * t.total();
+    if (total > slowest_total) {
+      slowest_total = total;
+      slowest.compute_s = static_cast<double>(local_iters) * t.compute_s;
+      slowest.access_s = static_cast<double>(local_iters) * t.access_s;
+    }
+  }
+  return slowest;
+}
+
+}  // namespace fp::fed

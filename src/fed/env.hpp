@@ -1,0 +1,64 @@
+// Experiment environment: client shards, test/public data, device fleet,
+// and the simulated-time accounting shared by every algorithm.
+#pragma once
+
+#include <optional>
+
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "fed/config.hpp"
+#include "sysmodel/device.hpp"
+
+namespace fp::fed {
+
+struct FedEnv {
+  data::Dataset test;
+  data::Dataset public_set;           ///< server-side KD data (may be empty)
+  std::vector<data::Dataset> shards;  ///< one per client
+  std::vector<float> weights;         ///< q_k = |D_k| / sum |D_i|
+  std::optional<sys::DeviceSampler> devices;
+  /// Paper-shape model spec used for the latency/memory simulation (e.g.
+  /// VGG16@32x32) — may differ from the trainable model, see DESIGN.md §1.
+  sys::ModelSpec cost_spec;
+  sys::TrainCostConfig cost_cfg;
+
+  std::int64_t num_clients() const {
+    return static_cast<std::int64_t>(shards.size());
+  }
+};
+
+struct FedEnvConfig {
+  FlConfig fl;
+  bool with_public_set = false;
+  double public_fraction = 0.1;
+  sys::Heterogeneity heterogeneity = sys::Heterogeneity::kBalanced;
+  bool cifar_pool = true;  ///< which device pool (Table 5 vs Table 6)
+};
+
+/// Builds the environment: public split (optional), non-IID partition,
+/// device sampler, and cost-model configuration.
+FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
+                sys::ModelSpec cost_spec);
+
+/// What one client trains this round, expressed on the cost spec's atoms.
+struct ClientWork {
+  std::size_t atom_begin = 0;
+  std::size_t atom_end = 0;
+  bool with_aux = false;
+  int pgd_steps = 10;
+  /// Memory scale relative to full-model training (sub-model methods train
+  /// a shrunken network; 1.0 = full model).
+  double mem_scale = 1.0;
+  /// FLOPs scale (e.g. a width-r sub-model costs about r^2 the MACs).
+  double flops_scale = 1.0;
+};
+
+/// Synchronous-round time: max over clients of local_iters * per-step time;
+/// the breakdown is the slowest client's compute/access split.
+TimeBreakdown simulate_round_time(const sys::ModelSpec& spec,
+                                  const std::vector<sys::DeviceInstance>& devices,
+                                  const std::vector<ClientWork>& work,
+                                  const sys::TrainCostConfig& base_cfg,
+                                  std::int64_t local_iters);
+
+}  // namespace fp::fed

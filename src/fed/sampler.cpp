@@ -1,0 +1,19 @@
+#include "fed/sampler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fp::fed {
+
+std::vector<std::size_t> ClientSampler::sample(std::int64_t count) {
+  if (count > num_clients_)
+    throw std::invalid_argument("ClientSampler: count > population");
+  std::vector<std::size_t> ids(static_cast<std::size_t>(num_clients_));
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  rng_.shuffle(ids);
+  ids.resize(static_cast<std::size_t>(count));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace fp::fed

@@ -1,0 +1,24 @@
+// Uniform client sampling without replacement (paper: C = 10 of N = 100).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace fp::fed {
+
+class ClientSampler {
+ public:
+  ClientSampler(std::int64_t num_clients, std::uint64_t seed)
+      : num_clients_(num_clients), rng_(seed) {}
+
+  /// Samples `count` distinct client ids.
+  std::vector<std::size_t> sample(std::int64_t count);
+
+ private:
+  std::int64_t num_clients_;
+  Rng rng_;
+};
+
+}  // namespace fp::fed

@@ -1,0 +1,37 @@
+#include "fedprophet/coordinator.hpp"
+
+namespace fp::fedprophet {
+
+std::size_t assign_modules(const sys::ModelSpec& spec,
+                           const cascade::Partition& partition, std::size_t m,
+                           std::int64_t batch_size, std::int64_t avail_mem_bytes,
+                           double avail_flops, double min_avail_flops,
+                           bool enabled) {
+  const std::size_t num_modules = partition.num_modules();
+  if (!enabled || m + 1 >= num_modules) return m + 1;
+
+  const std::size_t abegin = partition.modules[m].begin;
+  // Budget: training the whole block must not exceed available memory
+  // (Eq. 14) and must not take longer than the slowest client training just
+  // module m (Eq. 15), estimated by FLOPs relative to performance.
+  const double single_macs = static_cast<double>(sys::module_forward_macs(
+      spec, abegin, partition.modules[m].end, batch_size,
+      /*with_aux_head=*/!partition.modules[m].is_last));
+  const double flops_budget =
+      (avail_flops / min_avail_flops) * single_macs;
+
+  std::size_t end = m + 1;
+  for (std::size_t j = m + 1; j < num_modules; ++j) {
+    const std::size_t aend = partition.modules[j].end;
+    const bool with_aux = !partition.modules[j].is_last;
+    const std::int64_t mem =
+        sys::module_train_mem_bytes(spec, abegin, aend, batch_size, with_aux);
+    const double macs = static_cast<double>(
+        sys::module_forward_macs(spec, abegin, aend, batch_size, with_aux));
+    if (mem > avail_mem_bytes || macs > flops_budget) break;
+    end = j + 1;
+  }
+  return end;
+}
+
+}  // namespace fp::fedprophet

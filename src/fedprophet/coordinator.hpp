@@ -1,0 +1,69 @@
+// Server-side training coordinator (paper §6.2, §6.3).
+//
+// AdaptivePerturbation implements Eq. 11/12: the intermediate perturbation
+// budget for module m is eps_{m-1} = alpha_t * E[max ||Delta z_{m-1}||],
+// where the expectation is collected from clients when module m-1 is fixed,
+// and alpha_t is nudged by +-delta_alpha to keep the clean/adversarial
+// accuracy ratio of the growing cascade within (1 +- gamma) of the previous
+// module's final ratio.
+//
+// assign_modules implements Eq. 14/15: a "prophet" client is given as many
+// future modules as fit its available memory AND whose training FLOPs stay
+// below P_k / P_min times the cost of the single current module (so the
+// synchronous round is never lengthened).
+#pragma once
+
+#include "cascade/partitioner.hpp"
+#include "sysmodel/device.hpp"
+
+namespace fp::fedprophet {
+
+class AdaptivePerturbation {
+ public:
+  AdaptivePerturbation(float alpha_init, float delta_alpha, float gamma,
+                       bool enabled)
+      : alpha_init_(alpha_init),
+        delta_alpha_(delta_alpha),
+        gamma_(gamma),
+        enabled_(enabled) {}
+
+  /// Called when module m-1 is fixed: sets the base magnitude
+  /// E[max ||Delta z_{m-1}||] and resets alpha to its initial value.
+  void start_module(double mean_dz) {
+    base_ = mean_dz;
+    alpha_ = alpha_init_;
+  }
+
+  /// Current eps_{m-1} = alpha_t * base (Eq. 11).
+  float epsilon() const { return static_cast<float>(alpha_ * base_); }
+  float alpha() const { return alpha_; }
+
+  /// Eq. 12: compares the cascade's current clean/adv ratio with the
+  /// previous module's final ratio and adjusts alpha.
+  void update(double clean_acc, double adv_acc, double prev_final_ratio) {
+    if (!enabled_ || prev_final_ratio <= 0.0) return;
+    const double ratio = adv_acc > 1e-6 ? clean_acc / adv_acc : 1e6;
+    if (ratio > (1.0 + gamma_) * prev_final_ratio) {
+      alpha_ += delta_alpha_;  // too little robustness: push eps up
+    } else if (ratio < (1.0 - gamma_) * prev_final_ratio) {
+      alpha_ = std::max(0.0f, alpha_ - delta_alpha_);
+    }
+  }
+
+ private:
+  float alpha_init_, delta_alpha_, gamma_;
+  bool enabled_;
+  float alpha_ = 0.3f;
+  double base_ = 0.0;
+};
+
+/// Differentiated Module Assignment: returns the exclusive end module index
+/// M_k + 1 for a client training from module m onward. With `enabled` false
+/// every client trains exactly module m.
+std::size_t assign_modules(const sys::ModelSpec& spec,
+                           const cascade::Partition& partition, std::size_t m,
+                           std::int64_t batch_size, std::int64_t avail_mem_bytes,
+                           double avail_flops, double min_avail_flops,
+                           bool enabled);
+
+}  // namespace fp::fedprophet

@@ -1,0 +1,214 @@
+#include "fedprophet/fedprophet.hpp"
+
+#include <cmath>
+
+namespace fp::fedprophet {
+
+FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
+    : FederatedAlgorithm(env, cfg.fl),
+      init_rng_(cfg.fl.seed ^ 0xfedbeef),
+      cfg2_(std::move(cfg)),
+      model_(cfg2_.model_spec, init_rng_),
+      cascade_(model_,
+               cascade::partition_model(cfg2_.model_spec, cfg2_.rmin_bytes,
+                                        cfg2_.fl.batch_size),
+               init_rng_),
+      apa_(cfg2_.alpha_init, cfg2_.delta_alpha, cfg2_.gamma, cfg2_.apa) {
+  clients_.resize(static_cast<std::size_t>(env.num_clients()));
+  for (std::size_t k = 0; k < clients_.size(); ++k)
+    clients_[k].rng = Rng(cfg2_.fl.seed + 1000 + k);
+}
+
+data::BatchIterator& FedProphet::client_batches(std::size_t k) {
+  auto& rt = clients_[k];
+  if (!rt.batches)
+    rt.batches.emplace(env_->shards[k], cfg2_.fl.batch_size, rt.rng);
+  return *rt.batches;
+}
+
+float FedProphet::current_epsilon() const {
+  // Module 1 always trains at the fixed input budget eps_0 (paper footnote 3).
+  if (stage_ == 0) return cfg2_.fl.epsilon0;
+  return apa_.epsilon();
+}
+
+std::int64_t FedProphet::input_dim_of_stage() const {
+  const auto& mod = cascade_.partition().modules[stage_];
+  return model_.spec().shape_before(mod.begin).numel();
+}
+
+void FedProphet::run_round(std::int64_t /*t*/) {
+  const auto rc = sample_round();
+  const float eps = current_epsilon();
+  const float lr = lr_at(global_round_);
+
+  // Minimum available performance among this round's participants (Eq. 15).
+  double perf_min = 1.0;
+  if (!rc.devices.empty()) {
+    perf_min = rc.devices[0].avail_flops;
+    for (const auto& d : rc.devices) perf_min = std::min(perf_min, d.avail_flops);
+  }
+
+  // Snapshot global modules [stage_, end) + aux heads for client restores.
+  const std::size_t num_modules = cascade_.num_modules();
+  std::vector<nn::ParamBlob> global_modules(num_modules), global_aux(num_modules);
+  for (std::size_t j = stage_; j < num_modules; ++j) {
+    global_modules[j] = cascade_.save_module(j);
+    global_aux[j] = cascade_.save_aux(j);
+  }
+
+  fed::PartialAccumulator acc(model_);
+  acc.reset();
+  std::vector<fed::BlobAverager> aux_acc(num_modules);
+  std::vector<fed::ClientWork> work;
+  work.reserve(rc.ids.size());
+
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const std::size_t k = rc.ids[i];
+    // Restore the global state for this client.
+    for (std::size_t j = stage_; j < num_modules; ++j) {
+      cascade_.load_module(j, global_modules[j]);
+      cascade_.load_aux(j, global_aux[j]);
+    }
+    // Differentiated Module Assignment (Eq. 14/15).
+    std::size_t module_end = stage_ + 1;
+    if (!rc.devices.empty()) {
+      const auto avail_mem = static_cast<std::int64_t>(
+          static_cast<double>(rc.devices[i].avail_mem_bytes) *
+          cfg2_.device_mem_scale);
+      module_end =
+          assign_modules(model_.spec(), cascade_.partition(), stage_,
+                         cfg2_.fl.batch_size, avail_mem, rc.devices[i].avail_flops,
+                         perf_min, cfg2_.dma);
+    } else if (cfg2_.dma) {
+      module_end = num_modules;  // no device pool: everyone is a prophet
+    }
+
+    cascade::LocalTrainConfig tcfg;
+    tcfg.module_begin = stage_;
+    tcfg.module_end = module_end;
+    tcfg.mu = cfg2_.mu;
+    tcfg.eps_in = eps;
+    tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+    tcfg.sgd = cfg2_.fl.sgd;
+    tcfg.sgd.lr = lr;
+    cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
+    auto& batches = client_batches(k);
+    for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
+      trainer.train_batch(batches.next(), clients_[k].rng);
+
+    // Upload: trained atoms into the partial accumulator (Eq. 16) and the
+    // last assigned module's auxiliary head (Eq. 17).
+    const float qk = env_->weights[k];
+    for (std::size_t a = trainer.atom_begin(); a < trainer.atom_end(); ++a)
+      acc.add_dense_atom(model_, a, qk);
+    if (cascade_.aux_head(module_end - 1))
+      aux_acc[module_end - 1].add(cascade_.save_aux(module_end - 1), qk);
+
+    // Simulated wall-clock contribution.
+    fed::ClientWork w;
+    w.atom_begin = cascade_.partition().modules[stage_].begin;
+    w.atom_end = cascade_.partition().modules[module_end - 1].end;
+    w.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
+    w.pgd_steps = cfg2_.fl.pgd_steps;
+    work.push_back(w);
+  }
+
+  // Server aggregation: restore globals, then apply the averages.
+  for (std::size_t j = stage_; j < num_modules; ++j) {
+    cascade_.load_module(j, global_modules[j]);
+    cascade_.load_aux(j, global_aux[j]);
+  }
+  acc.finalize_into(model_);
+  for (std::size_t j = stage_; j < num_modules; ++j)
+    if (!aux_acc[j].empty()) cascade_.load_aux(j, aux_acc[j].average());
+
+  if (!rc.devices.empty())
+    add_sim_time(fed::simulate_round_time(model_.spec(), rc.devices, work,
+                                          env_->cost_cfg, cfg2_.fl.local_iters));
+
+  eps_trace_.push_back(
+      stage_ == 0
+          ? static_cast<double>(cfg2_.fl.epsilon0)
+          : static_cast<double>(eps) /
+                std::sqrt(static_cast<double>(input_dim_of_stage())));
+  ++global_round_;
+}
+
+void FedProphet::fix_current_module() {
+  // Collect E[max ||Delta z_m||] from client data at the fixed module
+  // (feeds eps for the next stage, Eq. 11).
+  cascade::LocalTrainConfig tcfg;
+  tcfg.module_begin = stage_;
+  tcfg.module_end = stage_ + 1;
+  tcfg.mu = cfg2_.mu;
+  tcfg.eps_in = current_epsilon();
+  tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+  cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
+  double mean_dz = 0.0, mean_dz_dim = 0.0;
+  int samples = 0;
+  const auto probe =
+      std::min<std::size_t>(clients_.size(), 5);  // a handful of clients suffices
+  for (std::size_t k = 0; k < probe; ++k) {
+    const auto stats = trainer.measure_output_perturbation(
+        client_batches(k).next(), clients_[k].rng);
+    mean_dz += stats.mean_l2;
+    mean_dz_dim += stats.mean_per_dim;
+    ++samples;
+  }
+  mean_dz /= samples;
+  mean_dz_dim /= samples;
+  mean_dz_prev_ = mean_dz;
+
+  auto& rec = stages_.back();
+  rec.mean_dz = mean_dz;
+  rec.mean_dz_per_dim = mean_dz_dim;
+}
+
+void FedProphet::train() {
+  for (stage_ = 0; stage_ < cascade_.num_modules(); ++stage_) {
+    stages_.push_back({});
+    stages_.back().module = stage_;
+    if (stage_ > 0) apa_.start_module(mean_dz_prev_);
+
+    double best_score = -1.0;
+    std::int64_t evals_since_best = 0;
+    std::int64_t rounds_used = 0;
+    for (std::int64_t r = 0; r < cfg2_.rounds_per_module; ++r) {
+      run_round(global_round_);
+      ++rounds_used;
+      const bool do_eval =
+          cfg2_.eval_every > 0 && ((r + 1) % cfg2_.eval_every == 0 ||
+                                   r + 1 == cfg2_.rounds_per_module);
+      if (!do_eval) continue;
+      cascade::PrefixEvalConfig ecfg;
+      ecfg.epsilon0 = cfg2_.fl.epsilon0;
+      ecfg.max_samples = cfg2_.val_samples;
+      const auto accs = cascade::evaluate_prefix(cascade_, stage_, env_->test, ecfg);
+      last_clean_ = accs.clean;
+      last_adv_ = accs.adv;
+      apa_.update(accs.clean, accs.adv, prev_final_ratio_);
+      history_.push_back({global_round_, accs.clean, accs.adv,
+                          sim_time_.total(), eps_trace_.back()});
+      const double score = accs.clean + accs.adv;
+      if (score > best_score + 1e-6) {
+        best_score = score;
+        evals_since_best = 0;
+      } else if (cfg2_.patience_evals > 0 &&
+                 ++evals_since_best >= cfg2_.patience_evals) {
+        break;
+      }
+    }
+
+    auto& rec = stages_.back();
+    rec.rounds = rounds_used;
+    rec.final_clean = last_clean_;
+    rec.final_adv = last_adv_;
+    rec.eps_used = current_epsilon();
+    prev_final_ratio_ = last_adv_ > 1e-6 ? last_clean_ / last_adv_ : 0.0;
+    fix_current_module();
+  }
+  stage_ = cascade_.num_modules() - 1;  // keep indices valid for callers
+}
+
+}  // namespace fp::fedprophet

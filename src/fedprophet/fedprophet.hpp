@@ -1,0 +1,100 @@
+// FedProphet (paper Algorithm 2): memory-efficient federated adversarial
+// training via robust and consistent cascade learning.
+//
+// Modules are trained in forward order. Within a module's stage, each
+// communication round: the coordinator adjusts eps_{m-1} (Adaptive
+// Perturbation Adjustment) and assigns each sampled client the largest
+// trainable block of future modules (Differentiated Module Assignment);
+// clients run adversarial cascade learning with strong-convexity
+// regularization (Eq. 9/13); the server partial-averages modules (Eq. 16)
+// and auxiliary heads (Eq. 17). When a module converges it is frozen and
+// E[max ||Delta z_m||] is collected for the next stage's budget.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cascade/trainer.hpp"
+#include "fed/algorithm.hpp"
+#include "fedprophet/coordinator.hpp"
+
+namespace fp::fedprophet {
+
+struct FedProphetConfig {
+  fed::FlConfig fl;
+  sys::ModelSpec model_spec;          ///< trainable backbone
+  std::int64_t rmin_bytes = 0;        ///< partition constraint (Algorithm 1)
+  std::int64_t rounds_per_module = 30;  ///< paper: <= 500 with early stop
+  std::int64_t eval_every = 5;        ///< APA / early-stop cadence (rounds)
+  std::int64_t patience_evals = 0;    ///< 0 = no early stop
+  float mu = 1e-5f;                   ///< strong convexity (paper's optimum)
+  float alpha_init = 0.3f;
+  float delta_alpha = 0.1f;
+  float gamma = 0.05f;
+  bool apa = true;                    ///< Table 3 ablation toggles
+  bool dma = true;
+  /// Device memory is multiplied by this before the DMA check, mapping the
+  /// paper-scale device fleet onto the scaled-down trainable model
+  /// (DESIGN.md §1). <= 0 selects full-model / paper scale (1.0).
+  double device_mem_scale = 1.0;
+  std::int64_t val_samples = 256;     ///< validation subset for C_m / A_m
+};
+
+class FedProphet final : public fed::FederatedAlgorithm {
+ public:
+  FedProphet(fed::FedEnv& env, FedProphetConfig cfg);
+
+  std::string name() const override { return "FedProphet"; }
+  models::BuiltModel& global_model() override { return model_; }
+  cascade::CascadeState& cascade() { return cascade_; }
+  const cascade::Partition& partition() const { return cascade_.partition(); }
+
+  /// Full Algorithm 2 (all modules). run_round is stage-internal.
+  void train();
+
+  void run_round(std::int64_t t) override;  ///< one round of the current stage
+
+  /// Per-stage records: module index, rounds used, final prefix accuracy,
+  /// eps actually used, measured ||Delta z|| statistics.
+  struct StageRecord {
+    std::size_t module = 0;
+    std::int64_t rounds = 0;
+    double final_clean = 0.0, final_adv = 0.0;
+    double eps_used = 0.0;
+    double mean_dz = 0.0;       ///< E[max ||Delta z_m||] after fixing
+    double mean_dz_per_dim = 0.0;
+  };
+  const std::vector<StageRecord>& stages() const { return stages_; }
+
+  /// Round-indexed eps-per-dimension trace (paper Fig. 10).
+  const std::vector<double>& eps_trace() const { return eps_trace_; }
+
+  const FedProphetConfig& config() const { return cfg2_; }
+
+ private:
+  struct ClientRt {
+    Rng rng;
+    std::optional<data::BatchIterator> batches;
+  };
+  data::BatchIterator& client_batches(std::size_t k);
+  float current_epsilon() const;
+  std::int64_t input_dim_of_stage() const;
+  void fix_current_module();
+
+  Rng init_rng_;  ///< seeds weight/aux-head init (per cfg.fl.seed)
+  FedProphetConfig cfg2_;
+  models::BuiltModel model_;
+  cascade::CascadeState cascade_;
+  AdaptivePerturbation apa_;
+  std::vector<ClientRt> clients_;
+  std::vector<StageRecord> stages_;
+  std::vector<double> eps_trace_;
+
+  std::size_t stage_ = 0;           ///< current module index m
+  std::int64_t global_round_ = 0;   ///< t across all stages
+  double prev_final_ratio_ = 0.0;   ///< C*_{m-1} / A*_{m-1}
+  double mean_dz_prev_ = 0.0;       ///< base magnitude for eps_{m-1}
+  double last_clean_ = 0.0, last_adv_ = 0.0;
+};
+
+}  // namespace fp::fedprophet

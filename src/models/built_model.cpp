@@ -1,0 +1,129 @@
+#include "models/built_model.hpp"
+
+#include <stdexcept>
+
+namespace fp::models {
+
+nn::LayerPtr build_layer(const sys::LayerSpec& spec, Rng& rng) {
+  using sys::LayerKind;
+  switch (spec.kind) {
+    case LayerKind::kConv2d:
+      return std::make_unique<nn::Conv2d>(spec.in_channels, spec.out_channels,
+                                          spec.kernel, spec.stride, spec.padding,
+                                          rng, spec.bias);
+    case LayerKind::kLinear:
+      return std::make_unique<nn::Linear>(spec.in_channels, spec.out_channels, rng,
+                                          spec.bias);
+    case LayerKind::kBatchNorm2d:
+      return std::make_unique<nn::BatchNorm2d>(spec.in_channels);
+    case LayerKind::kReLU:
+      return std::make_unique<nn::ReLU>();
+    case LayerKind::kMaxPool2d:
+      return std::make_unique<nn::MaxPool2d>(spec.kernel, spec.stride);
+    case LayerKind::kGlobalAvgPool:
+      return std::make_unique<nn::GlobalAvgPool>();
+    case LayerKind::kFlatten:
+      return std::make_unique<nn::Flatten>();
+  }
+  throw std::logic_error("build_layer: unknown kind");
+}
+
+std::vector<nn::LayerPtr> build_atoms(const sys::ModelSpec& spec, Rng& rng) {
+  std::vector<nn::LayerPtr> atoms;
+  atoms.reserve(spec.atoms.size());
+  for (const auto& atom : spec.atoms) {
+    if (atom.residual) {
+      // basic_block_spec produces conv-bn-relu-conv-bn (+ optional projection);
+      // nn::BasicBlock builds exactly that structure.
+      const auto& first_conv = atom.layers.at(0);
+      atoms.push_back(std::make_unique<nn::BasicBlock>(
+          first_conv.in_channels, first_conv.out_channels, first_conv.stride, rng));
+    } else {
+      auto seq = std::make_unique<nn::Sequential>();
+      for (const auto& layer : atom.layers) seq->push_back(build_layer(layer, rng));
+      atoms.push_back(std::move(seq));
+    }
+  }
+  return atoms;
+}
+
+BuiltModel::BuiltModel(sys::ModelSpec spec, Rng& rng) : spec_(std::move(spec)) {
+  atoms_ = build_atoms(spec_, rng);
+}
+
+Tensor BuiltModel::forward_range(std::size_t begin, std::size_t end, const Tensor& x,
+                                 bool train) {
+  if (begin > end || end > atoms_.size())
+    throw std::invalid_argument("forward_range: bad range");
+  Tensor h = x;
+  for (std::size_t i = begin; i < end; ++i) h = atoms_[i]->forward(h, train);
+  return h;
+}
+
+Tensor BuiltModel::backward_range(std::size_t begin, std::size_t end,
+                                  const Tensor& grad) {
+  if (begin > end || end > atoms_.size())
+    throw std::invalid_argument("backward_range: bad range");
+  Tensor g = grad;
+  for (std::size_t i = end; i > begin; --i) g = atoms_[i - 1]->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> BuiltModel::parameters_range(std::size_t begin, std::size_t end) {
+  std::vector<Tensor*> out;
+  for (std::size_t i = begin; i < end; ++i)
+    for (auto* p : atoms_[i]->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> BuiltModel::gradients_range(std::size_t begin, std::size_t end) {
+  std::vector<Tensor*> out;
+  for (std::size_t i = begin; i < end; ++i)
+    for (auto* g : atoms_[i]->gradients()) out.push_back(g);
+  return out;
+}
+
+void BuiltModel::zero_grad_range(std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) atoms_[i]->zero_grad();
+}
+
+nn::ParamBlob BuiltModel::save_all() {
+  nn::ParamBlob blob;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    const auto atom_blob = save_atom(i);
+    blob.insert(blob.end(), atom_blob.begin(), atom_blob.end());
+  }
+  return blob;
+}
+
+void BuiltModel::load_all(const nn::ParamBlob& blob) {
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    const std::size_t n = save_atom(i).size();
+    if (offset + n > blob.size()) throw std::invalid_argument("load_all: blob small");
+    nn::ParamBlob piece(blob.begin() + static_cast<std::ptrdiff_t>(offset),
+                        blob.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    load_atom(i, piece);
+    offset += n;
+  }
+  if (offset != blob.size()) throw std::invalid_argument("load_all: size mismatch");
+}
+
+void BuiltModel::use_bn_bank(int bank) {
+  for (auto& atom : atoms_)
+    atom->for_each_bn([bank](nn::BatchNorm2d& bn) { bn.use_bank(bank); });
+}
+
+void BuiltModel::set_bn_tracking(bool tracking) {
+  for (auto& atom : atoms_)
+    atom->for_each_bn(
+        [tracking](nn::BatchNorm2d& bn) { bn.set_track_stats(tracking); });
+}
+
+std::int64_t BuiltModel::param_count() {
+  std::int64_t n = 0;
+  for (auto& atom : atoms_) n += nn::param_count(*atom);
+  return n;
+}
+
+}  // namespace fp::models

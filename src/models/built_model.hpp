@@ -1,0 +1,74 @@
+// Instantiates a sys::ModelSpec into real trainable layers.
+//
+// BuiltModel is the runtime twin of a ModelSpec: one nn::Layer per atom, with
+// range-wise forward/backward and per-atom parameter blobs. Cascade learning,
+// the FL aggregators, and the attacks all address the model as atom ranges,
+// which keeps the training path and the cost model aligned by construction.
+#pragma once
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "sysmodel/layer_spec.hpp"
+
+namespace fp::models {
+
+/// Creates a single nn layer from its spec.
+nn::LayerPtr build_layer(const sys::LayerSpec& spec, Rng& rng);
+
+/// Creates one nn layer per atom (Sequential for plain atoms, BasicBlock for
+/// residual atoms).
+std::vector<nn::LayerPtr> build_atoms(const sys::ModelSpec& spec, Rng& rng);
+
+class BuiltModel {
+ public:
+  BuiltModel(sys::ModelSpec spec, Rng& rng);
+
+  const sys::ModelSpec& spec() const { return spec_; }
+  std::size_t num_atoms() const { return atoms_.size(); }
+  nn::Layer& atom(std::size_t i) { return *atoms_.at(i); }
+
+  /// Forward through atoms [begin, end). `train` selects BN batch statistics.
+  Tensor forward_range(std::size_t begin, std::size_t end, const Tensor& x,
+                       bool train);
+  /// Backward through atoms [begin, end) (reverse order); returns grad wrt
+  /// the range input. Requires a matching forward_range beforehand.
+  Tensor backward_range(std::size_t begin, std::size_t end, const Tensor& grad);
+
+  Tensor forward(const Tensor& x, bool train) {
+    return forward_range(0, atoms_.size(), x, train);
+  }
+
+  std::vector<Tensor*> parameters_range(std::size_t begin, std::size_t end);
+  std::vector<Tensor*> gradients_range(std::size_t begin, std::size_t end);
+  void zero_grad_range(std::size_t begin, std::size_t end);
+
+  /// Per-atom wire blobs (parameters + BN buffers), the unit of the
+  /// partial-average aggregation (paper Eq. 16).
+  nn::ParamBlob save_atom(std::size_t i) { return nn::save_blob(*atoms_.at(i)); }
+  void load_atom(std::size_t i, const nn::ParamBlob& blob) {
+    nn::load_blob(*atoms_.at(i), blob);
+  }
+  /// Whole-model blob (all atoms concatenated).
+  nn::ParamBlob save_all();
+  void load_all(const nn::ParamBlob& blob);
+
+  /// Switches every BatchNorm running-stat bank (FedRBN dual-BN support).
+  void use_bn_bank(int bank);
+  /// Freezes/unfreezes BatchNorm running-stat updates (attack generation).
+  void set_bn_tracking(bool tracking);
+
+  std::int64_t param_count();
+
+ private:
+  sys::ModelSpec spec_;
+  std::vector<nn::LayerPtr> atoms_;
+};
+
+}  // namespace fp::models

@@ -1,0 +1,333 @@
+#include "models/slicing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fp::models {
+
+namespace {
+
+using sys::AtomSpec;
+using sys::LayerKind;
+using sys::LayerSpec;
+
+std::vector<std::int64_t> all_indices(std::int64_t n) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+std::vector<std::int64_t> select_indices(std::int64_t c, double ratio,
+                                         SliceScheme scheme, std::int64_t round,
+                                         Rng& rng) {
+  const auto k = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(ratio * static_cast<double>(c))));
+  if (k >= c) return all_indices(c);
+  std::vector<std::int64_t> idx;
+  switch (scheme) {
+    case SliceScheme::kStatic:
+      idx = all_indices(c);
+      idx.resize(static_cast<std::size_t>(k));
+      break;
+    case SliceScheme::kRandom: {
+      idx = all_indices(c);
+      rng.shuffle(idx);
+      idx.resize(static_cast<std::size_t>(k));
+      std::sort(idx.begin(), idx.end());
+      break;
+    }
+    case SliceScheme::kRolling: {
+      // FedRolex: cyclic window advancing one channel per round.
+      const std::int64_t start = round % c;
+      for (std::int64_t j = 0; j < k; ++j) idx.push_back((start + j) % c);
+      std::sort(idx.begin(), idx.end());
+      break;
+    }
+  }
+  return idx;
+}
+
+}  // namespace
+
+SlicePlan make_slice_plan(const sys::ModelSpec& global, double ratio,
+                          SliceScheme scheme, std::int64_t round, Rng& rng) {
+  SlicePlan plan;
+  plan.ratio = ratio;
+  plan.sliced_spec = global;  // copy; channel counts rewritten below
+  plan.sliced_spec.name = global.name + "-slice";
+  plan.atoms.resize(global.atoms.size());
+
+  // Kept indices of the current activation, and the global shape (for
+  // flatten expansion).
+  std::vector<std::int64_t> cur = all_indices(global.input.c);
+  sys::TensorShape gshape = global.input;
+
+  for (std::size_t ai = 0; ai < global.atoms.size(); ++ai) {
+    const AtomSpec& atom = global.atoms[ai];
+    AtomSlice& aslice = plan.atoms[ai];
+    AtomSpec& satom = plan.sliced_spec.atoms[ai];
+    const bool last_atom = (ai + 1 == global.atoms.size());
+
+    if (atom.residual) {
+      const LayerSpec& conv1 = atom.layers.at(0);
+      const LayerSpec& conv2 = atom.layers.at(3);
+      const std::vector<std::int64_t> block_in = cur;
+      const auto mid = select_indices(conv1.out_channels, ratio, scheme, round, rng);
+      // Identity shortcuts add the input to the output elementwise, so the
+      // kept output channels must be exactly the kept input channels.
+      const auto out = atom.shortcut.empty()
+                           ? block_in
+                           : select_indices(conv2.out_channels, ratio, scheme,
+                                            round + 1, rng);
+      aslice.layers = {{block_in, mid}, {mid, mid}, {}, {mid, out}, {out, out}};
+      if (!atom.shortcut.empty()) aslice.shortcut = {{block_in, out}, {out, out}};
+      // Rewrite the sliced spec channels.
+      satom.layers[0].in_channels = static_cast<std::int64_t>(block_in.size());
+      satom.layers[0].out_channels = static_cast<std::int64_t>(mid.size());
+      satom.layers[1].in_channels = satom.layers[1].out_channels =
+          static_cast<std::int64_t>(mid.size());
+      satom.layers[3].in_channels = static_cast<std::int64_t>(mid.size());
+      satom.layers[3].out_channels = static_cast<std::int64_t>(out.size());
+      satom.layers[4].in_channels = satom.layers[4].out_channels =
+          static_cast<std::int64_t>(out.size());
+      if (!atom.shortcut.empty()) {
+        satom.shortcut[0].in_channels = static_cast<std::int64_t>(block_in.size());
+        satom.shortcut[0].out_channels = static_cast<std::int64_t>(out.size());
+        satom.shortcut[1].in_channels = satom.shortcut[1].out_channels =
+            static_cast<std::int64_t>(out.size());
+      }
+      cur = out;
+      gshape = atom_out_shape(atom, gshape);
+      continue;
+    }
+
+    aslice.layers.resize(atom.layers.size());
+    for (std::size_t li = 0; li < atom.layers.size(); ++li) {
+      const LayerSpec& layer = atom.layers[li];
+      LayerSpec& slayer = satom.layers[li];
+      switch (layer.kind) {
+        case LayerKind::kConv2d: {
+          const auto out = select_indices(layer.out_channels, ratio, scheme,
+                                          round + static_cast<std::int64_t>(li), rng);
+          aslice.layers[li] = {cur, out};
+          slayer.in_channels = static_cast<std::int64_t>(cur.size());
+          slayer.out_channels = static_cast<std::int64_t>(out.size());
+          cur = out;
+          break;
+        }
+        case LayerKind::kLinear: {
+          const bool is_output =
+              last_atom && layer.out_channels == global.num_classes;
+          const auto out = is_output
+                               ? all_indices(layer.out_channels)
+                               : select_indices(layer.out_channels, ratio, scheme,
+                                                round + static_cast<std::int64_t>(li),
+                                                rng);
+          aslice.layers[li] = {cur, out};
+          slayer.in_channels = static_cast<std::int64_t>(cur.size());
+          slayer.out_channels = static_cast<std::int64_t>(out.size());
+          cur = out;
+          break;
+        }
+        case LayerKind::kBatchNorm2d:
+          aslice.layers[li] = {cur, cur};
+          slayer.in_channels = slayer.out_channels =
+              static_cast<std::int64_t>(cur.size());
+          break;
+        case LayerKind::kFlatten: {
+          // Expand channel indices to flattened feature indices.
+          const std::int64_t plane = gshape.h * gshape.w;
+          std::vector<std::int64_t> expanded;
+          expanded.reserve(cur.size() * static_cast<std::size_t>(plane));
+          for (const auto c : cur)
+            for (std::int64_t j = 0; j < plane; ++j) expanded.push_back(c * plane + j);
+          cur = std::move(expanded);
+          break;
+        }
+        case LayerKind::kReLU:
+        case LayerKind::kMaxPool2d:
+        case LayerKind::kGlobalAvgPool:
+          break;  // channel identity preserved
+      }
+      gshape = out_shape(layer, gshape);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+struct Entry {
+  Tensor* global = nullptr;
+  Tensor* sliced = nullptr;
+  const std::vector<std::int64_t>* out = nullptr;  // null = identity
+  const std::vector<std::int64_t>* in = nullptr;   // null = identity / 1-D tensor
+};
+
+/// Collects parameter entries (into `params`) and buffer entries (into
+/// `bufs`) for a plain layer sequence, zipping global and sliced layers.
+void walk_sequence(const std::vector<LayerSpec>& specs,
+                   const std::vector<LayerSlice>& slices, nn::Sequential& gseq,
+                   nn::Sequential& sseq, std::vector<Entry>& params,
+                   std::vector<Entry>& bufs) {
+  if (gseq.size() != specs.size() || sseq.size() != specs.size() ||
+      slices.size() != specs.size())
+    throw std::logic_error("walk_sequence: structure mismatch");
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    auto gp = gseq.at(j).parameters();
+    auto sp = sseq.at(j).parameters();
+    auto gb = gseq.at(j).buffers();
+    auto sb = sseq.at(j).buffers();
+    if (gp.size() != sp.size() || gb.size() != sb.size())
+      throw std::logic_error("walk_sequence: parameter count mismatch");
+    const LayerSlice& ls = slices[j];
+    const bool has_weight =
+        specs[j].kind == LayerKind::kConv2d || specs[j].kind == LayerKind::kLinear;
+    for (std::size_t p = 0; p < gp.size(); ++p) {
+      Entry e;
+      e.global = gp[p];
+      e.sliced = sp[p];
+      if (has_weight && p == 0) {  // the weight matrix/kernel
+        e.out = &ls.out;
+        e.in = &ls.in;
+      } else {  // bias / gamma / beta: 1-D over output channels
+        e.out = &ls.out;
+      }
+      params.push_back(e);
+    }
+    for (std::size_t p = 0; p < gb.size(); ++p)
+      bufs.push_back({gb[p], sb[p], &ls.out, nullptr});
+  }
+}
+
+std::vector<Entry> enumerate_entries(const AtomSpec& spec, const AtomSlice& slice,
+                                     nn::Layer& gatom, nn::Layer& satom) {
+  std::vector<Entry> params, bufs;
+  if (spec.residual) {
+    auto* gblock = dynamic_cast<nn::BasicBlock*>(&gatom);
+    auto* sblock = dynamic_cast<nn::BasicBlock*>(&satom);
+    if (!gblock || !sblock) throw std::logic_error("enumerate: not a BasicBlock");
+    std::vector<Entry> sc_params, sc_bufs;
+    walk_sequence(spec.layers, slice.layers, gblock->main_path(),
+                  sblock->main_path(), params, bufs);
+    if (!spec.shortcut.empty()) {
+      if (!gblock->shortcut_path() || !sblock->shortcut_path())
+        throw std::logic_error("enumerate: missing shortcut");
+      walk_sequence(spec.shortcut, slice.shortcut, *gblock->shortcut_path(),
+                    *sblock->shortcut_path(), sc_params, sc_bufs);
+    }
+    params.insert(params.end(), sc_params.begin(), sc_params.end());
+    bufs.insert(bufs.end(), sc_bufs.begin(), sc_bufs.end());
+  } else {
+    auto* gseq = dynamic_cast<nn::Sequential*>(&gatom);
+    auto* sseq = dynamic_cast<nn::Sequential*>(&satom);
+    if (!gseq || !sseq) throw std::logic_error("enumerate: not a Sequential");
+    walk_sequence(spec.layers, slice.layers, *gseq, *sseq, params, bufs);
+  }
+  params.insert(params.end(), bufs.begin(), bufs.end());
+  return params;
+}
+
+/// Per-row element count of the innermost (non-indexed) dimensions.
+std::int64_t tail_numel(const Tensor& t) {
+  std::int64_t n = 1;
+  for (std::size_t d = 2; d < t.ndim(); ++d) n *= t.dim(d);
+  return n;
+}
+
+void gather_entry(const Entry& e) {
+  Tensor& g = *e.global;
+  Tensor& s = *e.sliced;
+  if (g.ndim() == 1) {
+    // Bias / gamma / running stats: 1-D over output channels.
+    const auto& out = *e.out;
+    if (out.empty()) {
+      s = g;
+      return;
+    }
+    for (std::size_t o = 0; o < out.size(); ++o)
+      s[static_cast<std::int64_t>(o)] = g[out[o]];
+    return;
+  }
+  // Weight: [O, I, ...]: gather rows by out, columns by in.
+  static const std::vector<std::int64_t> kIdentity;
+  const auto& out = (e.out && !e.out->empty()) ? *e.out : kIdentity;
+  const auto& in = (e.in && !e.in->empty()) ? *e.in : kIdentity;
+  const std::int64_t gi = g.dim(1), si = s.dim(1);
+  const std::int64_t tail = tail_numel(g);
+  const std::int64_t so_count = s.dim(0);
+  for (std::int64_t o = 0; o < so_count; ++o) {
+    const std::int64_t go = out.empty() ? o : out[static_cast<std::size_t>(o)];
+    for (std::int64_t i = 0; i < si; ++i) {
+      const std::int64_t gin = in.empty() ? i : in[static_cast<std::size_t>(i)];
+      std::copy_n(g.data() + (go * gi + gin) * tail, tail,
+                  s.data() + (o * si + i) * tail);
+    }
+  }
+}
+
+void scatter_entry(const Entry& e, Tensor& acc, Tensor& count, float w) {
+  Tensor& s = *e.sliced;
+  if (s.ndim() == 1) {
+    const auto& out = *e.out;
+    for (std::int64_t o = 0; o < s.numel(); ++o) {
+      const std::int64_t go =
+          out.empty() ? o : out[static_cast<std::size_t>(o)];
+      acc[go] += w * s[o];
+      count[go] += w;
+    }
+    return;
+  }
+  static const std::vector<std::int64_t> kIdentity;
+  const auto& out = (e.out && !e.out->empty()) ? *e.out : kIdentity;
+  const auto& in = (e.in && !e.in->empty()) ? *e.in : kIdentity;
+  const std::int64_t gi = acc.dim(1), si = s.dim(1);
+  const std::int64_t tail = tail_numel(s);
+  for (std::int64_t o = 0; o < s.dim(0); ++o) {
+    const std::int64_t go = out.empty() ? o : out[static_cast<std::size_t>(o)];
+    for (std::int64_t i = 0; i < si; ++i) {
+      const std::int64_t gin = in.empty() ? i : in[static_cast<std::size_t>(i)];
+      const float* src = s.data() + (o * si + i) * tail;
+      float* a = acc.data() + (go * gi + gin) * tail;
+      float* c = count.data() + (go * gi + gin) * tail;
+      for (std::int64_t t = 0; t < tail; ++t) {
+        a[t] += w * src[t];
+        c[t] += w;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gather_weights(const sys::ModelSpec& global_spec, const SlicePlan& plan,
+                    BuiltModel& global_model, BuiltModel& sliced_model) {
+  for (std::size_t ai = 0; ai < global_spec.atoms.size(); ++ai) {
+    const auto entries = enumerate_entries(global_spec.atoms[ai], plan.atoms[ai],
+                                           global_model.atom(ai),
+                                           sliced_model.atom(ai));
+    for (const auto& e : entries) gather_entry(e);
+  }
+}
+
+void scatter_add_weights(const sys::ModelSpec& global_spec, const SlicePlan& plan,
+                         BuiltModel& sliced_model, std::size_t atom_index,
+                         std::vector<Tensor>& acc, std::vector<Tensor>& count,
+                         float weight) {
+  // Enumeration needs a global atom only for tensor shapes; acc/count are the
+  // global-shaped targets, so we enumerate against the sliced model and use
+  // acc/count directly.
+  const AtomSpec& spec = global_spec.atoms[atom_index];
+  const AtomSlice& slice = plan.atoms[atom_index];
+  // Build entries with sliced tensors only (global side unused here): reuse
+  // enumerate by passing the sliced atom for both sides, then redirect.
+  const auto entries = enumerate_entries(spec, slice, sliced_model.atom(atom_index),
+                                         sliced_model.atom(atom_index));
+  if (entries.size() != acc.size() || entries.size() != count.size())
+    throw std::logic_error("scatter_add_weights: accumulator mismatch");
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    scatter_entry(entries[i], acc[i], count[i], weight);
+}
+
+}  // namespace fp::models

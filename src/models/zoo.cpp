@@ -1,0 +1,233 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+namespace fp::models {
+
+namespace {
+
+/// Builds plain VGG-style conv atoms from a width list; -1 denotes maxpool,
+/// which is attached to the preceding conv atom (an atom is "conv [+pool]").
+std::vector<AtomSpec> vgg_atoms(const std::vector<std::int64_t>& cfg,
+                                std::int64_t in_channels, bool with_bn) {
+  std::vector<AtomSpec> atoms;
+  std::int64_t c = in_channels;
+  int conv_idx = 0;
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    if (cfg[i] == -1) {
+      if (atoms.empty()) throw std::invalid_argument("vgg_atoms: leading pool");
+      atoms.back().layers.push_back(LayerSpec::maxpool(2, 2));
+      continue;
+    }
+    AtomSpec atom;
+    atom.name = "Conv " + std::to_string(++conv_idx);
+    atom.layers.push_back(LayerSpec::conv2d(c, cfg[i], 3, 1, 1, !with_bn));
+    if (with_bn) atom.layers.push_back(LayerSpec::batchnorm(cfg[i]));
+    atom.layers.push_back(LayerSpec::relu());
+    atoms.push_back(std::move(atom));
+    c = cfg[i];
+  }
+  return atoms;
+}
+
+ModelSpec vgg_like(std::string name, const std::vector<std::int64_t>& cfg,
+                   std::int64_t image, std::int64_t classes,
+                   std::int64_t hidden) {
+  ModelSpec m;
+  m.name = std::move(name);
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  m.atoms = vgg_atoms(cfg, 3, /*with_bn=*/false);
+  // Classifier atoms (paper Table 7: Linear 1..3 belong to the last module).
+  const sys::TensorShape feat = [&] {
+    sys::TensorShape s = m.input;
+    for (const auto& a : m.atoms) s = atom_out_shape(a, s);
+    return s;
+  }();
+  AtomSpec l1{"Linear 1",
+              {LayerSpec::flatten(), LayerSpec::linear(feat.numel(), hidden),
+               LayerSpec::relu()},
+              false,
+              {}};
+  AtomSpec l2{"Linear 2",
+              {LayerSpec::linear(hidden, hidden), LayerSpec::relu()},
+              false,
+              {}};
+  AtomSpec l3{"Linear 3", {LayerSpec::linear(hidden, classes)}, false, {}};
+  m.atoms.push_back(std::move(l1));
+  m.atoms.push_back(std::move(l2));
+  m.atoms.push_back(std::move(l3));
+  return m;
+}
+
+ModelSpec resnet_like(std::string name, const std::vector<int>& blocks_per_stage,
+                      std::int64_t image, std::int64_t classes) {
+  ModelSpec m;
+  m.name = std::move(name);
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  // Stem: 7x7/2 conv + BN + ReLU + 2x2 maxpool (paper Table 8: "Conv 1").
+  AtomSpec stem{"Conv 1",
+                {LayerSpec::conv2d(3, 64, 7, 2, 3, false), LayerSpec::batchnorm(64),
+                 LayerSpec::relu(), LayerSpec::maxpool(2, 2)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(stem));
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  std::int64_t c = 64;
+  int bb = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks_per_stage[static_cast<std::size_t>(stage)]; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      m.atoms.push_back(basic_block_spec("BasicBlock " + std::to_string(++bb), c,
+                                         widths[stage], stride));
+      c = widths[stage];
+    }
+  }
+  AtomSpec head{"Classifier",
+                {LayerSpec::global_avg_pool(), LayerSpec::flatten(),
+                 LayerSpec::linear(c, classes)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(head));
+  return m;
+}
+
+}  // namespace
+
+AtomSpec basic_block_spec(const std::string& name, std::int64_t in_channels,
+                          std::int64_t out_channels, std::int64_t stride) {
+  AtomSpec atom;
+  atom.name = name;
+  atom.residual = true;
+  atom.layers = {LayerSpec::conv2d(in_channels, out_channels, 3, stride, 1, false),
+                 LayerSpec::batchnorm(out_channels), LayerSpec::relu(),
+                 LayerSpec::conv2d(out_channels, out_channels, 3, 1, 1, false),
+                 LayerSpec::batchnorm(out_channels)};
+  if (stride != 1 || in_channels != out_channels) {
+    atom.shortcut = {LayerSpec::conv2d(in_channels, out_channels, 1, stride, 0, false),
+                     LayerSpec::batchnorm(out_channels)};
+  }
+  return atom;
+}
+
+ModelSpec vgg16_spec(std::int64_t image, std::int64_t classes) {
+  return vgg_like("VGG16",
+                  {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1,
+                   512, 512, 512, -1},
+                  image, classes, 512);
+}
+
+ModelSpec vgg13_spec(std::int64_t image, std::int64_t classes) {
+  return vgg_like("VGG13",
+                  {64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1},
+                  image, classes, 512);
+}
+
+ModelSpec vgg11_spec(std::int64_t image, std::int64_t classes) {
+  return vgg_like("VGG11", {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1},
+                  image, classes, 512);
+}
+
+ModelSpec cnn3_spec(std::int64_t image, std::int64_t classes) {
+  ModelSpec m;
+  m.name = "CNN3";
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  m.atoms = vgg_atoms({32, -1, 64, -1, 128, -1}, 3, false);
+  const sys::TensorShape feat = [&] {
+    sys::TensorShape s = m.input;
+    for (const auto& a : m.atoms) s = atom_out_shape(a, s);
+    return s;
+  }();
+  m.atoms.push_back(AtomSpec{
+      "Linear 1", {LayerSpec::flatten(), LayerSpec::linear(feat.numel(), classes)},
+      false, {}});
+  return m;
+}
+
+ModelSpec resnet34_spec(std::int64_t image, std::int64_t classes) {
+  return resnet_like("ResNet34", {3, 4, 6, 3}, image, classes);
+}
+
+ModelSpec resnet18_spec(std::int64_t image, std::int64_t classes) {
+  return resnet_like("ResNet18", {2, 2, 2, 2}, image, classes);
+}
+
+ModelSpec resnet10_spec(std::int64_t image, std::int64_t classes) {
+  return resnet_like("ResNet10", {1, 1, 1, 1}, image, classes);
+}
+
+ModelSpec cnn4_spec(std::int64_t image, std::int64_t classes) {
+  ModelSpec m;
+  m.name = "CNN4";
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  m.atoms = vgg_atoms({32, -1, 64, -1, 128, -1, 256, -1}, 3, false);
+  AtomSpec head{"Classifier",
+                {LayerSpec::global_avg_pool(), LayerSpec::flatten(),
+                 LayerSpec::linear(256, classes)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(head));
+  return m;
+}
+
+ModelSpec tiny_vgg_spec(std::int64_t image, std::int64_t classes, std::int64_t width) {
+  ModelSpec m;
+  m.name = "TinyVGG-w" + std::to_string(width);
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  m.atoms = vgg_atoms({width, width, -1, 2 * width, 2 * width, -1, 4 * width,
+                       4 * width, -1},
+                      3, /*with_bn=*/true);
+  AtomSpec head{"Classifier",
+                {LayerSpec::global_avg_pool(), LayerSpec::flatten(),
+                 LayerSpec::linear(4 * width, classes)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(head));
+  return m;
+}
+
+ModelSpec tiny_resnet_spec(std::int64_t image, std::int64_t classes,
+                           std::int64_t width) {
+  ModelSpec m;
+  m.name = "TinyResNet-w" + std::to_string(width);
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  AtomSpec stem{"Conv 1",
+                {LayerSpec::conv2d(3, width, 3, 1, 1, false),
+                 LayerSpec::batchnorm(width), LayerSpec::relu()},
+                false,
+                {}};
+  m.atoms.push_back(std::move(stem));
+  m.atoms.push_back(basic_block_spec("BasicBlock 1", width, width, 1));
+  m.atoms.push_back(basic_block_spec("BasicBlock 2", width, 2 * width, 2));
+  m.atoms.push_back(basic_block_spec("BasicBlock 3", 2 * width, 2 * width, 1));
+  m.atoms.push_back(basic_block_spec("BasicBlock 4", 2 * width, 4 * width, 2));
+  AtomSpec head{"Classifier",
+                {LayerSpec::global_avg_pool(), LayerSpec::flatten(),
+                 LayerSpec::linear(4 * width, classes)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(head));
+  return m;
+}
+
+ModelSpec tiny_cnn_spec(std::int64_t image, std::int64_t classes, std::int64_t width) {
+  ModelSpec m;
+  m.name = "TinyCNN-w" + std::to_string(width);
+  m.input = {3, image, image};
+  m.num_classes = classes;
+  m.atoms = vgg_atoms({width, -1, 2 * width, -1}, 3, true);
+  AtomSpec head{"Classifier",
+                {LayerSpec::global_avg_pool(), LayerSpec::flatten(),
+                 LayerSpec::linear(2 * width, classes)},
+                false,
+                {}};
+  m.atoms.push_back(std::move(head));
+  return m;
+}
+
+}  // namespace fp::models

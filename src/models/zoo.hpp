@@ -1,0 +1,55 @@
+// Model zoo.
+//
+// Two families share one description format (sys::ModelSpec):
+//  * Paper-exact shapes, used analytically by the cost model and partitioner:
+//    VGG16/13/11 + CNN3 at 3x32x32 (CIFAR-10 workload) and
+//    ResNet34/18/10 + CNN4 at 3x224x224 (Caltech-256 workload).
+//  * Trainable tiny models actually optimized in the accuracy-plane
+//    experiments (single CPU core): TinyVGG / TinyResNet / TinyCNN with a
+//    configurable width multiplier.
+//
+// Atoms follow the paper's §6.1 definition: a layer for plain networks
+// (conv + ReLU [+ pool] counts as one "layer" atom), a residual block for
+// ResNets.
+#pragma once
+
+#include "sysmodel/layer_spec.hpp"
+
+namespace fp::models {
+
+using sys::AtomSpec;
+using sys::LayerSpec;
+using sys::ModelSpec;
+
+// ---- paper-exact shapes (analytic use) -------------------------------------
+/// VGG-style plain network; `cfg` lists conv widths with -1 denoting maxpool.
+ModelSpec vgg16_spec(std::int64_t image = 32, std::int64_t classes = 10);
+ModelSpec vgg13_spec(std::int64_t image = 32, std::int64_t classes = 10);
+ModelSpec vgg11_spec(std::int64_t image = 32, std::int64_t classes = 10);
+/// 3-conv CNN used as the paper's small CIFAR model (Table 1).
+ModelSpec cnn3_spec(std::int64_t image = 32, std::int64_t classes = 10);
+
+ModelSpec resnet34_spec(std::int64_t image = 224, std::int64_t classes = 256);
+ModelSpec resnet18_spec(std::int64_t image = 224, std::int64_t classes = 256);
+ModelSpec resnet10_spec(std::int64_t image = 224, std::int64_t classes = 256);
+/// 4-conv CNN used as the paper's small Caltech model (Table 1).
+ModelSpec cnn4_spec(std::int64_t image = 224, std::int64_t classes = 256);
+
+// ---- trainable tiny models --------------------------------------------------
+/// Plain VGG-style net: [w, w, M, 2w, 2w, M, 4w, 4w, M] + GAP + linear,
+/// with BatchNorm after every conv. 9 atoms at default depth.
+ModelSpec tiny_vgg_spec(std::int64_t image = 16, std::int64_t classes = 10,
+                        std::int64_t width = 8);
+/// Residual net: stem conv + 5 basic blocks + GAP + linear. 7 atoms.
+ModelSpec tiny_resnet_spec(std::int64_t image = 16, std::int64_t classes = 10,
+                           std::int64_t width = 8);
+/// Two conv layers + GAP + linear — the "small model" baseline.
+ModelSpec tiny_cnn_spec(std::int64_t image = 16, std::int64_t classes = 10,
+                        std::int64_t width = 8);
+
+/// Helper used by both ResNet specs and the builder: the AtomSpec of one
+/// basic block (conv-bn-relu-conv-bn with identity or projection shortcut).
+AtomSpec basic_block_spec(const std::string& name, std::int64_t in_channels,
+                          std::int64_t out_channels, std::int64_t stride);
+
+}  // namespace fp::models

@@ -1,0 +1,39 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace fp::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_mask_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  const float* in = x.data();
+  float* m = cached_mask_.data();
+  float* o = out.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool pos = in[i] > 0.0f;
+    m[i] = pos ? 1.0f : 0.0f;
+    o[i] = pos ? in[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) throw std::logic_error("ReLU::backward before forward");
+  Tensor grad_in = grad_out;
+  grad_in.mul_(cached_mask_);
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  cached_shape_ = x.shape();
+  const std::int64_t n = x.dim(0);
+  return x.reshape({n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty()) throw std::logic_error("Flatten::backward before forward");
+  return grad_out.reshape(cached_shape_);
+}
+
+}  // namespace fp::nn

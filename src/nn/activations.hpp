@@ -1,0 +1,29 @@
+// Parameter-free layers: ReLU and Flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;  ///< 1 where the input was positive
+};
+
+/// Reshapes NCHW -> [N, C*H*W]; backward restores the original shape.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace fp::nn

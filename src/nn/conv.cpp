@@ -1,0 +1,97 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fp::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel, kernel}),
+      grad_bias_({out_channels}) {
+  // Kaiming-uniform: U(-b, b) with b = sqrt(6 / fan_in) (gain for ReLU nets).
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_channels * kernel * kernel));
+  for (auto& v : weight_.span()) v = rng.uniform(-bound, bound);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
+  cached_input_ = x;
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out({n, out_channels_, oh, ow});
+  Tensor cols({g.col_rows(), g.col_cols()});
+  const std::int64_t in_plane = in_channels_ * h * w;
+  const std::int64_t out_plane = out_channels_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(g, x.data() + i * in_plane, cols.data());
+    // out_i[out_c, oh*ow] = W[out_c, rows] * cols[rows, oh*ow]
+    gemm(false, false, out_channels_, g.col_cols(), g.col_rows(), 1.0f,
+         weight_.data(), cols.data(), 0.0f, out.data() + i * out_plane);
+    if (has_bias_) {
+      float* o = out.data() + i * out_plane;
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        const float b = bias_[c];
+        for (std::int64_t p = 0; p < oh * ow; ++p) o[c * oh * ow + p] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t in_plane = in_channels_ * h * w;
+  const std::int64_t out_plane = out_channels_ * oh * ow;
+
+  Tensor grad_in({n, in_channels_, h, w});
+  Tensor cols({g.col_rows(), g.col_cols()});
+  Tensor grad_cols({g.col_rows(), g.col_cols()});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* go = grad_out.data() + i * out_plane;
+    // grad_W += go[out_c, cols] * cols^T  -> recompute im2col (memory saving).
+    im2col(g, x.data() + i * in_plane, cols.data());
+    gemm(false, true, out_channels_, g.col_rows(), g.col_cols(), 1.0f, go,
+         cols.data(), 1.0f, grad_weight_.data());
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        double s = 0.0;
+        for (std::int64_t p = 0; p < oh * ow; ++p) s += go[c * oh * ow + p];
+        grad_bias_[c] += static_cast<float>(s);
+      }
+    }
+    // grad_cols = W^T * go, then fold back to image space.
+    gemm(true, false, g.col_rows(), g.col_cols(), out_channels_, 1.0f,
+         weight_.data(), go, 0.0f, grad_cols.data());
+    col2im(g, grad_cols.data(), grad_in.data() + i * in_plane);
+  }
+  return grad_in;
+}
+
+std::vector<Tensor*> Conv2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::vector<Tensor*> Conv2d::gradients() {
+  if (has_bias_) return {&grad_weight_, &grad_bias_};
+  return {&grad_weight_};
+}
+
+}  // namespace fp::nn

@@ -1,0 +1,42 @@
+// 2-D convolution layer (square kernels), im2col + GEMM implementation.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace fp::nn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Kaiming-uniform initialized convolution. Input is NCHW.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride, std::int64_t padding, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  std::string name() const override { return "Conv2d"; }
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+  bool has_bias() const { return has_bias_; }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Tensor weight_;       ///< [out, in, k, k]
+  Tensor bias_;         ///< [out]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_; ///< NCHW input from the last forward
+};
+
+}  // namespace fp::nn

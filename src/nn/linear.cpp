@@ -1,0 +1,71 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fp::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+  for (auto& v : weight_.span()) v = rng.uniform(-bound, bound);
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() < 2) throw std::invalid_argument("Linear: input must be >= 2-D");
+  const std::int64_t n = x.dim(0);
+  const std::int64_t features = x.numel() / n;
+  if (features != in_features_)
+    throw std::invalid_argument("Linear: feature mismatch, got " + x.shape_str());
+  cached_input_shape_ = x.shape();
+  cached_input_ = x.reshape({n, in_features_});
+  Tensor out({n, out_features_});
+  // out = x * W^T
+  gemm(false, true, n, out_features_, in_features_, 1.0f, cached_input_.data(),
+       weight_.data(), 0.0f, out.data());
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        out[i * out_features_ + j] += bias_[j];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) throw std::logic_error("Linear::backward before forward");
+  const std::int64_t n = cached_input_.dim(0);
+  // grad_W += grad_out^T * x : [out, in] = [N, out]^T [N, in]
+  gemm(true, false, out_features_, in_features_, n, 1.0f, grad_out.data(),
+       cached_input_.data(), 1.0f, grad_weight_.data());
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        grad_bias_[j] += grad_out[i * out_features_ + j];
+  }
+  // grad_x = grad_out * W : [N, in]
+  Tensor grad_in({n, in_features_});
+  gemm(false, false, n, in_features_, out_features_, 1.0f, grad_out.data(),
+       weight_.data(), 0.0f, grad_in.data());
+  return grad_in.reshape(cached_input_shape_);
+}
+
+std::vector<Tensor*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::vector<Tensor*> Linear::gradients() {
+  if (has_bias_) return {&grad_weight_, &grad_bias_};
+  return {&grad_weight_};
+}
+
+}  // namespace fp::nn

@@ -1,0 +1,38 @@
+// Fully connected layer. Also serves as the auxiliary output model theta_m
+// in cascade learning (paper Eq. 9 uses a single linear layer so that the
+// early-exit loss is convex in z_m).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  std::string name() const override { return "Linear"; }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  bool has_bias_;
+  Tensor weight_;  ///< [out, in]
+  Tensor bias_;    ///< [out]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  ///< [N, in] (flattened view of the forward input)
+  std::vector<std::int64_t> cached_input_shape_;
+};
+
+}  // namespace fp::nn

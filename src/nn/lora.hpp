@@ -1,0 +1,55 @@
+// LoRA (Hu et al. 2021): low-rank adaptation layers.
+//
+// The paper's §8 names low-rank adaptation as complementary to FedProphet:
+// the partitioner works at atom granularity, LoRA at parameter granularity,
+// so the two memory reductions compose. LoRaLinear freezes a base weight
+// W0 and trains only the rank-r factors B [out, r] and A [r, in]:
+//     y = x (W0 + s B A)^T + b,   s = alpha / r.
+// Trainable state shrinks from out*in to r*(out+in), which also shrinks
+// gradients and optimizer momentum by the same factor — exactly the three
+// terms of the ZeRO-style memory accounting in sysmodel.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class LoRaLinear final : public Layer {
+ public:
+  /// Wraps a frozen base weight of shape [out, in]. `rank` must satisfy
+  /// 1 <= rank <= min(in, out). B starts at zero (adapter is a no-op until
+  /// trained), A is Kaiming-initialized — the standard LoRA init.
+  LoRaLinear(Tensor base_weight, Tensor base_bias, std::int64_t rank, float alpha,
+             Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  /// Only the adapter factors are trainable.
+  std::vector<Tensor*> parameters() override { return {&a_, &b_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_a_, &grad_b_}; }
+  std::string name() const override { return "LoRaLinear"; }
+
+  std::int64_t rank() const { return rank_; }
+  float scale() const { return scale_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+  /// Materializes W0 + s B A (deployment / merging back into the backbone).
+  Tensor merged_weight() const;
+
+  /// Trainable-state elements: LoRA r(out+in) vs dense out*in.
+  std::int64_t trainable_params() const { return rank_ * (in_ + out_); }
+  std::int64_t dense_params() const { return in_ * out_; }
+
+ private:
+  std::int64_t in_, out_, rank_;
+  float scale_;
+  Tensor w0_, bias_;       ///< frozen
+  Tensor a_, b_;           ///< trainable factors: A [r, in], B [out, r]
+  Tensor grad_a_, grad_b_;
+  Tensor cached_input_;    ///< [N, in]
+  Tensor cached_ax_;       ///< [N, r] = x A^T, reused in backward
+};
+
+}  // namespace fp::nn

@@ -1,0 +1,73 @@
+#include "nn/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fp::nn {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'P', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const float* data, std::size_t count) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < count * sizeof(float); ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const ParamBlob& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, 4);
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = blob.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size() * sizeof(float)));
+  const std::uint64_t checksum = fnv1a(blob.data(), blob.size());
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) throw std::runtime_error("save_checkpoint: write failed: " + path);
+}
+
+ParamBlob load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion)
+    throw std::runtime_error("load_checkpoint: unsupported version");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error("load_checkpoint: truncated header");
+  ParamBlob blob(count);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) throw std::runtime_error("load_checkpoint: truncated payload");
+  if (checksum != fnv1a(blob.data(), blob.size()))
+    throw std::runtime_error("load_checkpoint: checksum mismatch (corrupt file)");
+  return blob;
+}
+
+void save_layer_checkpoint(const std::string& path, Layer& layer) {
+  save_checkpoint(path, save_blob(layer));
+}
+
+void load_layer_checkpoint(const std::string& path, Layer& layer) {
+  load_blob(layer, load_checkpoint(path));
+}
+
+}  // namespace fp::nn

@@ -1,0 +1,25 @@
+// Checkpoint I/O: binary save/load of parameter blobs.
+//
+// Format (little-endian): magic "FPCK", u32 version, u64 element count,
+// then raw float32 payload, then a u64 FNV-1a checksum of the payload.
+// The blob layout is the wire format of nn/serialize.hpp, so any Layer or
+// models::BuiltModel round-trips through a file.
+#pragma once
+
+#include <string>
+
+#include "nn/serialize.hpp"
+
+namespace fp::nn {
+
+/// Writes a blob checkpoint. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const ParamBlob& blob);
+
+/// Reads a checkpoint, validating magic, version, and checksum.
+ParamBlob load_checkpoint(const std::string& path);
+
+/// Convenience: save/load a layer's parameters + buffers.
+void save_layer_checkpoint(const std::string& path, Layer& layer);
+void load_layer_checkpoint(const std::string& path, Layer& layer);
+
+}  // namespace fp::nn

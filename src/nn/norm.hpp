@@ -1,0 +1,64 @@
+// Batch normalization over NCHW activations.
+//
+// The layer keeps two independent banks of running statistics. Bank 0 is the
+// default; bank 1 exists for FedRBN-style dual-BN training, where clean and
+// adversarial examples are normalized with separate statistics and the
+// robustness is "propagated" between clients through the adversarial bank.
+// The affine parameters (gamma, beta) are shared between banks, a documented
+// simplification of FedRBN (see DESIGN.md §5).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_gamma_, &grad_beta_}; }
+  std::vector<Tensor*> buffers() override {
+    return {&running_mean_[0], &running_var_[0], &running_mean_[1], &running_var_[1]};
+  }
+  std::string name() const override { return "BatchNorm2d"; }
+
+  /// Selects which running-statistics bank forward/eval uses (0 = clean/default,
+  /// 1 = adversarial). Training-mode batch statistics are unaffected; only the
+  /// running-stat updates and eval-mode normalization read the active bank.
+  void use_bank(int bank);
+  int active_bank() const { return bank_; }
+
+  /// When disabled, training-mode forward still normalizes with batch
+  /// statistics but does not update the running stats — used while PGD
+  /// generates adversarial examples so attack passes don't pollute them.
+  void set_track_stats(bool v) { track_stats_ = v; }
+  bool track_stats() const { return track_stats_; }
+
+  void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) override {
+    fn(*this);
+  }
+
+  std::int64_t channels() const { return channels_; }
+  Tensor& running_mean(int bank) { return running_mean_[bank]; }
+  Tensor& running_var(int bank) { return running_var_[bank]; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  int bank_ = 0;
+  bool track_stats_ = true;
+  Tensor gamma_, beta_, grad_gamma_, grad_beta_;
+  Tensor running_mean_[2], running_var_[2];
+  // Forward cache for backward.
+  Tensor cached_xhat_;       ///< normalized input
+  Tensor cached_inv_std_;    ///< per-channel 1/sqrt(var+eps) used in forward
+  bool cached_train_ = false;
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace fp::nn

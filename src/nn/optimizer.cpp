@@ -1,0 +1,50 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fp::nn {
+
+Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, SgdConfig cfg)
+    : params_(std::move(params)), grads_(std::move(grads)), cfg_(cfg) {
+  if (params_.size() != grads_.size())
+    throw std::invalid_argument("Sgd: params/grads size mismatch");
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) velocity_.emplace_back(p->shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& v = velocity_[i];
+    float* pv = p.data();
+    const float* pg = g.data();
+    float* pvel = v.data();
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      const float grad = pg[j] + cfg_.weight_decay * pv[j];
+      pvel[j] = cfg_.momentum * pvel[j] + grad;
+      pv[j] -= cfg_.lr * pvel[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto* g : grads_) g->zero_();
+}
+
+void Sgd::reset_state() {
+  for (auto& v : velocity_) v.zero_();
+}
+
+std::int64_t Sgd::state_numel() const {
+  std::int64_t n = 0;
+  for (const auto& v : velocity_) n += v.numel();
+  return n;
+}
+
+float ExpDecaySchedule::lr_at(std::int64_t round) const {
+  return lr0_ * std::pow(decay_, static_cast<float>(round));
+}
+
+}  // namespace fp::nn

@@ -1,0 +1,53 @@
+// SGD with momentum and weight decay — the optimizer used throughout the
+// paper (momentum 0.9, weight decay 1e-4, exponential LR decay, §B.4).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace fp::nn {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  /// Binds the optimizer to parameter/gradient tensor pairs. The tensors must
+  /// outlive the optimizer; momentum buffers are allocated lazily to match.
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, SgdConfig cfg);
+
+  /// v = momentum*v + g + wd*p;  p -= lr*v.
+  void step();
+
+  void zero_grad();
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+  const SgdConfig& config() const { return cfg_; }
+
+  /// Resets momentum buffers (used when a client loads fresh global weights).
+  void reset_state();
+
+  /// Number of float32 optimizer-state values (for memory accounting).
+  std::int64_t state_numel() const;
+
+ private:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> velocity_;
+  SgdConfig cfg_;
+};
+
+/// Exponential learning-rate schedule: lr_t = lr_0 * decay^t (paper §B.4,
+/// decay 0.994 per communication round).
+class ExpDecaySchedule {
+ public:
+  ExpDecaySchedule(float lr0, float decay) : lr0_(lr0), decay_(decay) {}
+  float lr_at(std::int64_t round) const;
+
+ private:
+  float lr0_, decay_;
+};
+
+}  // namespace fp::nn

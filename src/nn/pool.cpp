@@ -1,0 +1,90 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fp::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4) throw std::invalid_argument("MaxPool2d: want NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  if (oh <= 0 || ow <= 0) throw std::invalid_argument("MaxPool2d: input too small");
+  cached_shape_ = x.shape();
+  Tensor out({n, c, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  const float* in = x.data();
+  float* o = out.data();
+  std::int64_t oi = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (i * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y)
+        for (std::int64_t x2 = 0; x2 < ow; ++x2, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky)
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = y * stride_ + ky;
+              const std::int64_t ix = x2 * stride_ + kx;
+              const std::int64_t idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          o[oi] = best;
+          cached_argmax_[static_cast<std::size_t>(oi)] =
+              (i * c + ch) * h * w + best_idx;
+        }
+    }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty()) throw std::logic_error("MaxPool2d::backward before forward");
+  Tensor grad_in(cached_shape_);
+  const float* go = grad_out.data();
+  float* gi = grad_in.data();
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    gi[cached_argmax_[static_cast<std::size_t>(i)]] += go[i];
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4) throw std::invalid_argument("GlobalAvgPool: want NCHW");
+  const std::int64_t n = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  cached_shape_ = x.shape();
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (i * c + ch) * plane;
+      double s = 0.0;
+      for (std::int64_t j = 0; j < plane; ++j) s += p[j];
+      out[i * c + ch] = static_cast<float>(s) * inv;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty())
+    throw std::logic_error("GlobalAvgPool::backward before forward");
+  const std::int64_t n = cached_shape_[0], c = cached_shape_[1],
+                     plane = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_in(cached_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[i * c + ch] * inv;
+      float* p = grad_in.data() + (i * c + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) p[j] = g;
+    }
+  return grad_in;
+}
+
+}  // namespace fp::nn

@@ -1,0 +1,36 @@
+// Pooling layers: max pooling with argmax routing and global average pooling.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel, std::int64_t stride = -1);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t kernel_, stride_;
+  std::vector<std::int64_t> cached_argmax_;  ///< flat input index per output cell
+  std::vector<std::int64_t> cached_shape_;
+};
+
+/// Averages each channel plane to a single value: NCHW -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace fp::nn

@@ -1,0 +1,51 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sysmodel/cost_model.hpp"
+
+namespace fp::nn {
+
+Tensor fake_quantize(const Tensor& t, int bits) {
+  if (bits < 2) throw std::invalid_argument("fake_quantize: bits < 2");
+  if (bits >= 16) return t;
+  const float absmax = t.abs_max();
+  if (absmax == 0.0f) return t;
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  const float step = absmax / levels;
+  Tensor out = t;
+  for (auto& v : out.span()) v = step * std::nearbyint(v / step);
+  return out;
+}
+
+float quantization_error_bound(const Tensor& t, int bits) {
+  if (bits >= 16) return 0.0f;
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  return t.abs_max() / levels * 0.5f;
+}
+
+std::int64_t low_bit_mem_bytes(const sys::ModelSpec& model, std::size_t begin,
+                               std::size_t end, std::int64_t batch_size,
+                               bool with_aux_head, int bits) {
+  // Full fp32 accounting = 4 bytes * (3P + A): weights+grads+momentum and
+  // activations. Low-bit stores weights and activations at `bits`:
+  //   bytes = P*(bits/8) + P*4 + P*4 + A*(bits/8)
+  // which we recover from the fp32 total and the parameter count.
+  const std::int64_t fp32 = sys::module_train_mem_bytes(model, begin, end,
+                                                        batch_size, with_aux_head);
+  std::int64_t params = 0;
+  for (std::size_t a = begin; a < end && a < model.atoms.size(); ++a)
+    params += sys::atom_param_count(model.atoms[a]);
+  if (with_aux_head) params += sys::aux_head_params(model, end);
+  const std::int64_t param_fp32 = 3 * params * 4;   // weights+grads+momentum
+  const std::int64_t act_fp32 = fp32 - param_fp32;  // activations * batch
+  const double byte_ratio = static_cast<double>(bits) / 32.0;
+  const auto low_params = static_cast<std::int64_t>(
+      static_cast<double>(params) * 4.0 * byte_ratio) + 2 * params * 4;
+  const auto low_acts =
+      static_cast<std::int64_t>(static_cast<double>(act_fp32) * byte_ratio);
+  return low_params + low_acts;
+}
+
+}  // namespace fp::nn

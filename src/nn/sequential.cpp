@@ -1,0 +1,120 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+
+namespace fp::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (auto* p : layer->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (auto* g : layer->gradients()) out.push_back(g);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (auto* b : layer->buffers()) out.push_back(b);
+  return out;
+}
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng) {
+  main_.push_back(
+      std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1, rng, false));
+  main_.push_back(std::make_unique<BatchNorm2d>(out_channels));
+  main_.push_back(std::make_unique<ReLU>());
+  main_.push_back(
+      std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng, false));
+  main_.push_back(std::make_unique<BatchNorm2d>(out_channels));
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_ = std::make_unique<Sequential>();
+    shortcut_->push_back(
+        std::make_unique<Conv2d>(in_channels, out_channels, 1, stride, 0, rng, false));
+    shortcut_->push_back(std::make_unique<BatchNorm2d>(out_channels));
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& x, bool train) {
+  Tensor main_out = main_.forward(x, train);
+  Tensor residual = shortcut_ ? shortcut_->forward(x, train) : x;
+  main_out.add_(residual);
+  // Trailing ReLU with cached mask.
+  cached_sum_mask_ = Tensor(main_out.shape());
+  float* m = cached_sum_mask_.data();
+  float* o = main_out.data();
+  for (std::int64_t i = 0; i < main_out.numel(); ++i) {
+    const bool pos = o[i] > 0.0f;
+    m[i] = pos ? 1.0f : 0.0f;
+    if (!pos) o[i] = 0.0f;
+  }
+  return main_out;
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_out) {
+  if (cached_sum_mask_.empty())
+    throw std::logic_error("BasicBlock::backward before forward");
+  Tensor g = grad_out;
+  g.mul_(cached_sum_mask_);
+  Tensor grad_in = main_.backward(g);
+  if (shortcut_) {
+    grad_in.add_(shortcut_->backward(g));
+  } else {
+    grad_in.add_(g);
+  }
+  return grad_in;
+}
+
+std::vector<Tensor*> BasicBlock::parameters() {
+  auto out = main_.parameters();
+  if (shortcut_)
+    for (auto* p : shortcut_->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> BasicBlock::gradients() {
+  auto out = main_.gradients();
+  if (shortcut_)
+    for (auto* g : shortcut_->gradients()) out.push_back(g);
+  return out;
+}
+
+void BasicBlock::use_bn_bank(int bank) {
+  for (const auto& l : main_.layers())
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(l.get())) bn->use_bank(bank);
+  if (shortcut_)
+    for (const auto& l : shortcut_->layers())
+      if (auto* bn = dynamic_cast<BatchNorm2d*>(l.get())) bn->use_bank(bank);
+}
+
+std::vector<Tensor*> BasicBlock::buffers() {
+  auto out = main_.buffers();
+  if (shortcut_)
+    for (auto* b : shortcut_->buffers()) out.push_back(b);
+  return out;
+}
+
+}  // namespace fp::nn

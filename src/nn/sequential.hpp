@@ -1,0 +1,69 @@
+// Composite layers: Sequential chains and the ResNet basic block.
+// Both are Layers themselves, so "atoms" (paper §6.1: a layer for plain nets,
+// a residual block for ResNets) compose uniformly.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fp::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers) : layers_(std::move(layers)) {}
+
+  void push_back(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  std::size_t size() const { return layers_.size(); }
+  Layer& at(std::size_t i) { return *layers_.at(i); }
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  std::vector<Tensor*> buffers() override;
+  void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) override {
+    for (auto& layer : layers_) layer->for_each_bn(fn);
+  }
+  std::string name() const override { return "Sequential"; }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// ResNet basic block: conv-bn-relu-conv-bn with identity (or 1x1 projection)
+/// shortcut and a trailing ReLU. The projection is used when stride != 1 or
+/// the channel count changes.
+class BasicBlock final : public Layer {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  std::vector<Tensor*> buffers() override;
+  std::string name() const override { return "BasicBlock"; }
+
+  bool has_projection() const { return static_cast<bool>(shortcut_); }
+
+  /// Switches the running-stat bank of every internal BatchNorm (FedRBN).
+  void use_bn_bank(int bank);
+
+  void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) override {
+    main_.for_each_bn(fn);
+    if (shortcut_) shortcut_->for_each_bn(fn);
+  }
+
+  /// Structural access for sub-model extraction (channel slicing).
+  Sequential& main_path() { return main_; }
+  Sequential* shortcut_path() { return shortcut_.get(); }
+
+ private:
+  Sequential main_;                 ///< conv-bn-relu-conv-bn
+  std::unique_ptr<Sequential> shortcut_;  ///< 1x1 conv + bn, or null (identity)
+  Tensor cached_sum_mask_;          ///< ReLU mask of (main + shortcut)
+};
+
+}  // namespace fp::nn

@@ -1,0 +1,65 @@
+#include "nn/serialize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fp::nn {
+
+namespace {
+std::vector<Tensor*> all_tensors(Layer& layer) {
+  auto out = layer.parameters();
+  for (auto* b : layer.buffers()) out.push_back(b);
+  return out;
+}
+}  // namespace
+
+ParamBlob save_blob(Layer& layer) {
+  ParamBlob blob;
+  for (auto* t : all_tensors(layer))
+    blob.insert(blob.end(), t->data(), t->data() + t->numel());
+  return blob;
+}
+
+void load_blob(Layer& layer, const ParamBlob& blob) {
+  std::size_t offset = 0;
+  for (auto* t : all_tensors(layer)) {
+    const auto n = static_cast<std::size_t>(t->numel());
+    if (offset + n > blob.size())
+      throw std::invalid_argument("load_blob: blob too small");
+    std::copy_n(blob.data() + offset, n, t->data());
+    offset += n;
+  }
+  if (offset != blob.size())
+    throw std::invalid_argument("load_blob: blob size mismatch");
+}
+
+std::int64_t param_count(Layer& layer) {
+  std::int64_t n = 0;
+  for (auto* p : layer.parameters()) n += p->numel();
+  return n;
+}
+
+void blob_axpy(ParamBlob& acc, const ParamBlob& blob, float weight) {
+  if (acc.empty()) acc.assign(blob.size(), 0.0f);
+  if (acc.size() != blob.size())
+    throw std::invalid_argument("blob_axpy: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += weight * blob[i];
+}
+
+void blob_scale(ParamBlob& acc, float s) {
+  for (auto& v : acc) v *= s;
+}
+
+double blob_l2_distance(const ParamBlob& a, const ParamBlob& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("blob_l2_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace fp::nn

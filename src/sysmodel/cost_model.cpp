@@ -1,0 +1,100 @@
+#include "sysmodel/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace fp::sys {
+
+namespace {
+void check_range(const ModelSpec& model, std::size_t begin, std::size_t end) {
+  if (begin > end || end > model.atoms.size())
+    throw std::invalid_argument("cost_model: bad atom range");
+}
+}  // namespace
+
+std::int64_t aux_head_params(const ModelSpec& model, std::size_t end) {
+  // The auxiliary output model is a global-average-pool followed by a single
+  // fully connected layer (already-flat features skip the pool), so its
+  // parameter count is channels x classes + classes regardless of the
+  // spatial size — matching the tiny per-module overheads of Tables 7/8.
+  const TensorShape out = model.shape_before(end);
+  return out.c * model.num_classes + model.num_classes;
+}
+
+std::int64_t module_train_mem_bytes(const ModelSpec& model, std::size_t begin,
+                                    std::size_t end, std::int64_t batch_size,
+                                    bool with_aux_head) {
+  check_range(model, begin, end);
+  std::int64_t params = 0;
+  std::int64_t acts = 0;  // per-sample activation elements kept for backward
+  TensorShape s = model.shape_before(begin);
+  acts += s.numel();  // the module input itself
+  for (std::size_t a = begin; a < end; ++a) {
+    params += atom_param_count(model.atoms[a]);
+    acts += atom_activation_numel(model.atoms[a], s);
+    s = atom_out_shape(model.atoms[a], s);
+  }
+  if (with_aux_head) {
+    params += aux_head_params(model, end);
+    acts += s.c + model.num_classes;  // pooled features + logits
+  }
+  // SGD with momentum: weights + gradients + momentum = 3 copies of params.
+  const std::int64_t param_bytes = 3 * params * static_cast<std::int64_t>(kBytesPerFloat);
+  const std::int64_t act_bytes =
+      acts * batch_size * static_cast<std::int64_t>(kBytesPerFloat);
+  return param_bytes + act_bytes;
+}
+
+std::int64_t module_forward_macs(const ModelSpec& model, std::size_t begin,
+                                 std::size_t end, std::int64_t batch_size,
+                                 bool with_aux_head) {
+  check_range(model, begin, end);
+  std::int64_t macs = 0;
+  TensorShape s = model.shape_before(begin);
+  for (std::size_t a = begin; a < end; ++a) {
+    macs += atom_forward_macs(model.atoms[a], s);
+    s = atom_out_shape(model.atoms[a], s);
+  }
+  if (with_aux_head) macs += s.numel() + s.c * model.num_classes;  // GAP + FC
+  return macs * batch_size;
+}
+
+StepCost train_step_cost(const ModelSpec& model, std::size_t begin, std::size_t end,
+                         bool with_aux_head, const TrainCostConfig& cfg,
+                         std::int64_t avail_mem_bytes) {
+  check_range(model, begin, end);
+  StepCost cost;
+  const double fwd =
+      static_cast<double>(module_forward_macs(model, begin, end, cfg.batch_size,
+                                              with_aux_head));
+  const double prefix_fwd = static_cast<double>(
+      module_forward_macs(model, 0, begin, cfg.batch_size, false));
+  // PGD-n: n attack iterations (forward + input-gradient backward) plus the
+  // final parameter-update forward + backward. Standard training: 1 + 1.
+  const int passes = cfg.pgd_steps + 1;
+  cost.compute_flops =
+      cfg.flops_scale * (prefix_fwd + passes * fwd * (1.0 + cfg.backward_factor));
+
+  const auto mem = static_cast<std::int64_t>(
+      cfg.mem_scale *
+      static_cast<double>(module_train_mem_bytes(model, begin, end,
+                                                 cfg.batch_size, with_aux_head)));
+  if (mem > avail_mem_bytes) {
+    const double excess = static_cast<double>(mem - avail_mem_bytes);
+    // Every forward and every backward traversal must stream the excess
+    // working set to external storage and back.
+    cost.swap_traversals = 2 * passes;
+    cost.swap_bytes = cfg.swap_traffic_factor * excess * cost.swap_traversals;
+  }
+  return cost;
+}
+
+StepTime step_time(const StepCost& cost, double peak_flops, double io_bytes_per_s,
+                   const TrainCostConfig& cfg) {
+  StepTime t;
+  t.compute_s = cost.compute_flops / (peak_flops * cfg.utilization);
+  t.access_s = cost.swap_bytes / io_bytes_per_s +
+               cost.swap_traversals * cfg.swap_driver_overhead_s;
+  return t;
+}
+
+}  // namespace fp::sys

@@ -1,0 +1,77 @@
+// Training cost model: memory requirement (ZeRO-style accounting after
+// Rajbhandari et al. 2020, as adopted by the paper in §6.1), forward/backward
+// FLOPs, and the memory-swapping latency model that produces the paper's
+// Figure 2 / Figure 7 data-access overheads.
+#pragma once
+
+#include <cstdint>
+
+#include "sysmodel/layer_spec.hpp"
+
+namespace fp::sys {
+
+inline constexpr double kBytesPerFloat = 4.0;
+
+struct TrainCostConfig {
+  std::int64_t batch_size = 64;
+  /// PGD steps of the inner maximization; 0 means standard training.
+  int pgd_steps = 10;
+  /// Backward pass costs roughly 2x the forward MACs (grad-input + grad-weight).
+  double backward_factor = 2.0;
+  /// Fraction of peak device FLOPS achieved (pool TFLOPS are effective).
+  double utilization = 1.0;
+  /// Per-traversal driver/software overhead of a memory-swapping pass (s).
+  double swap_driver_overhead_s = 0.050;
+  /// Each swapped traversal streams the excess working set out and back in.
+  double swap_traffic_factor = 2.0;
+  /// Scales the module memory requirement (sub-model methods train a
+  /// shrunken network: a width-r slice needs roughly r^2 the activations).
+  double mem_scale = 1.0;
+  /// Scales the compute FLOPs (width-r slice: about r^2 the MACs).
+  double flops_scale = 1.0;
+};
+
+/// Memory (bytes) to train atoms [begin, end) of `model` plus an auxiliary
+/// linear head, with SGD+momentum: 3 copies of parameters (weights, grads,
+/// momentum) plus all intermediate activations of one batch.
+/// `with_aux_head` should be false when the range ends at the real output.
+std::int64_t module_train_mem_bytes(const ModelSpec& model, std::size_t begin,
+                                    std::size_t end, std::int64_t batch_size,
+                                    bool with_aux_head);
+
+/// Forward MACs of one batch through atoms [begin, end), including the
+/// auxiliary head if requested.
+std::int64_t module_forward_macs(const ModelSpec& model, std::size_t begin,
+                                 std::size_t end, std::int64_t batch_size,
+                                 bool with_aux_head);
+
+/// Parameter count of the auxiliary linear head attached after atom `end-1`.
+std::int64_t aux_head_params(const ModelSpec& model, std::size_t end);
+
+struct StepCost {
+  double compute_flops = 0.0;  ///< total MACs of one local iteration
+  double swap_bytes = 0.0;     ///< bytes moved to/from external storage
+  int swap_traversals = 0;     ///< number of swapped forward/backward passes
+};
+
+/// Cost of ONE local training iteration (one batch) of adversarial training
+/// on atoms [begin, end): (pgd_steps) attack forward+backward passes plus the
+/// final model-update forward+backward, plus a frozen-prefix forward
+/// (atoms [0, begin)) to produce the module input.
+/// `avail_mem_bytes` decides whether swapping is needed.
+StepCost train_step_cost(const ModelSpec& model, std::size_t begin, std::size_t end,
+                         bool with_aux_head, const TrainCostConfig& cfg,
+                         std::int64_t avail_mem_bytes);
+
+/// Converts a StepCost into seconds on a device.
+/// compute = flops / (peak * utilization); access = bytes / bw + traversals * overhead.
+struct StepTime {
+  double compute_s = 0.0;
+  double access_s = 0.0;
+  double total() const { return compute_s + access_s; }
+};
+
+StepTime step_time(const StepCost& cost, double peak_flops, double io_bytes_per_s,
+                   const TrainCostConfig& cfg);
+
+}  // namespace fp::sys

@@ -1,0 +1,77 @@
+#include "sysmodel/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fp::sys {
+
+const std::vector<Device>& cifar_device_pool() {
+  static const std::vector<Device> pool = {
+      {"GTX 1650m", 3.1, 4.0, 16.0},       {"TX2", 1.3, 4.0, 1.5},
+      {"KCU1500", 0.2, 2.0, 2.0},          {"VC709", 0.1, 2.0, 1.5},
+      {"Radeon HD 6870", 2.7, 1.0, 16.0},  {"Quadro M2200", 2.1, 4.0, 1.5},
+      {"A12 GPU", 0.5, 4.0, 1.5},          {"Geforce 750", 1.1, 1.0, 16.0},
+      {"Grid K240q", 2.3, 1.0, 16.0},      {"Radeon RX 6300m", 3.7, 2.0, 16.0},
+  };
+  return pool;
+}
+
+const std::vector<Device>& caltech_device_pool() {
+  static const std::vector<Device> pool = {
+      {"Radeon RX 7600", 21.8, 8.0, 16.0},  {"Radeon RX 6800", 16.2, 16.0, 16.0},
+      {"Arc A770", 19.7, 16.0, 16.0},       {"Quadro P5000", 5.3, 16.0, 1.5},
+      {"RTX 3080m", 19.0, 8.0, 16.0},       {"RTX 4090m", 33.0, 16.0, 16.0},
+      {"A17 GPU", 2.1, 8.0, 1.5},           {"GTX 1650m", 3.1, 4.0, 16.0},
+      {"TX2", 1.3, 4.0, 1.5},               {"P104 101", 8.6, 4.0, 16.0},
+  };
+  return pool;
+}
+
+DeviceSampler::DeviceSampler(const std::vector<Device>& pool,
+                             Heterogeneity heterogeneity, std::uint64_t seed)
+    : pool_(pool), rng_(seed) {
+  if (pool_.empty()) throw std::invalid_argument("DeviceSampler: empty pool");
+  std::vector<double> weights(pool_.size(), 1.0);
+  if (heterogeneity == Heterogeneity::kUnbalanced) {
+    // Weak devices (small memory, low performance) are over-represented.
+    for (std::size_t i = 0; i < pool_.size(); ++i)
+      weights[i] = 1.0 / (pool_[i].mem_gb * pool_[i].peak_tflops);
+  }
+  cumulative_.resize(pool_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    acc += weights[i];
+    cumulative_[i] = acc;
+  }
+  for (auto& c : cumulative_) c /= acc;
+}
+
+DeviceInstance DeviceSampler::sample() {
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(pool_.size()) - 1));
+  const Device& d = pool_[idx];
+  DeviceInstance inst;
+  inst.pool_index = idx;
+  inst.name = d.name;
+  const double d_mem = rng_.uniform(0.0f, 0.2f);
+  const double d_perf = rng_.uniform(0.0f, 1.0f);
+  inst.avail_mem_bytes =
+      static_cast<std::int64_t>(static_cast<double>(d.mem_bytes()) * d_mem);
+  inst.avail_flops = d.peak_flops() * d_perf;
+  // Guard: a fully degraded device still makes progress (10% of peak).
+  inst.avail_flops = std::max(inst.avail_flops, d.peak_flops() * 0.1);
+  inst.io_bytes_per_s = d.io_bytes_per_s();
+  return inst;
+}
+
+std::vector<DeviceInstance> DeviceSampler::sample_n(std::size_t n) {
+  std::vector<DeviceInstance> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample());
+  return out;
+}
+
+}  // namespace fp::sys

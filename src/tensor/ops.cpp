@@ -1,0 +1,265 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace fp {
+
+namespace {
+void check_2d(const Tensor& t, const char* what) {
+  if (t.ndim() != 2) throw std::invalid_argument(std::string(what) + ": want 2-D");
+}
+}  // namespace
+
+void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b, float beta,
+          float* c) {
+  // Scale / clear the destination first so the kernels can accumulate.
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (!transpose_a && !transpose_b) {
+    // A[m,k] * B[k,n]: i-k-j streams rows of B — cache friendly.
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* ci = c + i * n;
+      const float* ai = a + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * ai[p];
+        if (av == 0.0f) continue;
+        const float* bp = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  } else if (transpose_a && !transpose_b) {
+    // A stored [k,m]; op(A)[i,p] = A[p,i].
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* ap = a + p * m;
+      const float* bp = b + p * n;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float av = alpha * ap[i];
+        if (av == 0.0f) continue;
+        float* ci = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+  } else if (!transpose_a && transpose_b) {
+    // B stored [n,k]; op(B)[p,j] = B[j,p]. Dot products of rows — good locality.
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < k; ++p) acc += static_cast<double>(ai[p]) * bj[p];
+        ci[j] += alpha * static_cast<float>(acc);
+      }
+    }
+  } else {
+    // Rare in this library; do it the simple way.
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < k; ++p)
+          acc += static_cast<double>(a[p * m + i]) * b[j * k + p];
+        c[i * n + j] += alpha * static_cast<float>(acc);
+      }
+  }
+}
+
+void im2col(const Conv2dGeometry& g, const float* image, float* columns) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = image + c * plane;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* dst = columns + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(dst + y * ow, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.padding;
+            dst[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeometry& g, const float* columns, float* image) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t plane = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* chan = image + c * plane;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* src = columns + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.padding;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.padding;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor softmax(const Tensor& logits) {
+  check_2d(logits, "softmax");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out = logits;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = out.data() + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+float cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check_2d(logits, "cross_entropy");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n)
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double lse = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) lse += std::exp(row[j] - mx);
+    loss += std::log(lse) + mx - row[labels[static_cast<std::size_t>(i)]];
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor cross_entropy_grad(const Tensor& logits,
+                          const std::vector<std::int64_t>& labels) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor grad = softmax(logits);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = grad.data() + i * c;
+    row[labels[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  return grad;
+}
+
+float soft_cross_entropy(const Tensor& logits, const Tensor& targets) {
+  check_2d(logits, "soft_cross_entropy");
+  if (!logits.same_shape(targets))
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const float* t = targets.data() + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double lse = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) lse += std::exp(row[j] - mx);
+    const double log_z = std::log(lse) + mx;
+    for (std::int64_t j = 0; j < c; ++j) loss += t[j] * (log_z - row[j]);
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor soft_cross_entropy_grad(const Tensor& logits, const Tensor& targets) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor grad = softmax(logits);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = grad.data() + i * c;
+    const float* t = targets.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) row[j] = (row[j] - t[j]) * inv_n;
+  }
+  return grad;
+}
+
+namespace {
+struct DlrRowInfo {
+  std::int64_t top1, top3, runner_up;  // runner_up = argmax over i != y
+  float numer, denom;
+};
+
+DlrRowInfo dlr_row(const float* row, std::int64_t c, std::int64_t y) {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(c));
+  for (std::int64_t j = 0; j < c; ++j) idx[static_cast<std::size_t>(j)] = j;
+  std::partial_sort(idx.begin(), idx.begin() + std::min<std::int64_t>(3, c), idx.end(),
+                    [row](std::int64_t a, std::int64_t b) { return row[a] > row[b]; });
+  DlrRowInfo info{};
+  info.top1 = idx[0];
+  info.top3 = idx[static_cast<std::size_t>(std::min<std::int64_t>(2, c - 1))];
+  info.runner_up = (idx[0] != y) ? idx[0] : idx[1];
+  info.numer = row[y] - row[info.runner_up];
+  info.denom = row[info.top1] - row[info.top3];
+  if (info.denom < 1e-12f) info.denom = 1e-12f;
+  return info;
+}
+}  // namespace
+
+float dlr_loss(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  check_2d(logits, "dlr_loss");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  if (c < 3) throw std::invalid_argument("dlr_loss: needs >= 3 classes");
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto info =
+        dlr_row(logits.data() + i * c, c, labels[static_cast<std::size_t>(i)]);
+    loss += -static_cast<double>(info.numer) / info.denom;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor dlr_loss_grad(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor grad({n, c});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    const auto info = dlr_row(row, c, y);
+    float* g = grad.data() + i * c;
+    // L = -numer/denom; dL = (-d numer * denom + numer * d denom) / denom^2.
+    const float inv_d = 1.0f / info.denom;
+    g[y] -= inv_d;                // from d numer at y
+    g[info.runner_up] += inv_d;   // from d numer at runner-up
+    const float dd = info.numer * inv_d * inv_d;
+    g[info.top1] += dd;           // from d denom at pi_1
+    g[info.top3] -= dd;           // from d denom at pi_3
+    for (std::int64_t j = 0; j < c; ++j) g[j] *= inv_n;
+  }
+  return grad;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  const auto preds = logits.argmax_rows();
+  if (preds.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace fp

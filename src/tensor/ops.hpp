@@ -1,0 +1,67 @@
+// Dense kernels shared by the neural-network layers and the attacks:
+// GEMM, im2col/col2im for convolution, softmax / cross-entropy, and the
+// DLR loss used by AutoAttack-style evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fp {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// A is [M, K] after op, B is [K, N] after op, C is [M, N].
+/// transpose_a / transpose_b select op(X) = X^T on the stored layout.
+void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b, float beta,
+          float* c);
+
+struct Conv2dGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 0;   ///< square kernel
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+  std::int64_t in_h = 0, in_w = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+  /// Rows of the im2col matrix: C_in * K * K.
+  std::int64_t col_rows() const { return in_channels * kernel * kernel; }
+  /// Columns of the im2col matrix: H_out * W_out.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Unfolds one image [C, H, W] into a [C*K*K, H_out*W_out] column matrix.
+void im2col(const Conv2dGeometry& g, const float* image, float* columns);
+
+/// Folds a column matrix back into an image, accumulating overlaps (+=).
+/// `image` must be zeroed by the caller beforehand.
+void col2im(const Conv2dGeometry& g, const float* columns, float* image);
+
+/// Row-wise softmax of logits [N, C].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy over the batch; labels are class indices.
+/// Numerically stable (log-sum-exp).
+float cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Gradient of mean cross-entropy w.r.t. logits: (softmax - onehot)/N.
+Tensor cross_entropy_grad(const Tensor& logits,
+                          const std::vector<std::int64_t>& labels);
+
+/// Mean cross-entropy against soft target distributions [N, C]
+/// (knowledge-distillation objective). Targets must be a valid distribution.
+float soft_cross_entropy(const Tensor& logits, const Tensor& targets);
+Tensor soft_cross_entropy_grad(const Tensor& logits, const Tensor& targets);
+
+/// Difference-of-Logits-Ratio loss (Croce & Hein 2020), mean over batch.
+/// DLR = -(z_y - max_{i != y} z_i) / (z_pi1 - z_pi3), maximized by attacks.
+float dlr_loss(const Tensor& logits, const std::vector<std::int64_t>& labels);
+Tensor dlr_loss_grad(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace fp

@@ -1,0 +1,112 @@
+// Deterministic random number generation for the whole library.
+//
+// Every stochastic component (data synthesis, client sampling, PGD restarts,
+// weight init, device degradation factors) owns its own Rng seeded from a
+// single experiment seed, so experiments are reproducible bit-for-bit and
+// components do not perturb each other's streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace fp {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality 64-bit generator.
+/// Seeded through SplitMix64 so that low-entropy seeds still give good streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to fill the state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+    have_gauss_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = -n % n;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  float gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = static_cast<float>(v * mul);
+    have_gauss_ = true;
+    return static_cast<float>(u * mul);
+  }
+
+  float gaussian(float mean, float stddev) { return mean + stddev * gaussian(); }
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (e.g. one per client).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+  bool have_gauss_ = false;
+  float cached_gauss_ = 0.0f;
+};
+
+}  // namespace fp

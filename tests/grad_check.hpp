@@ -1,0 +1,93 @@
+// Finite-difference gradient checking for layers.
+//
+// Loss is L = <layer(x), R> for a fixed random tensor R, so dL/d(out) = R.
+// We compare the analytic backward pass against central differences for the
+// input and every parameter coordinate.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+
+namespace fp::test {
+
+inline double rel_err(double a, double b, double abs_floor = 2e-3) {
+  // The absolute floor reflects the fp32 central-difference noise floor
+  // (~|loss| * 1e-7 / h): coordinates whose true gradient is below it cannot
+  // be resolved numerically and are compared absolutely instead.
+  const double denom = std::max({std::abs(a), std::abs(b), abs_floor});
+  return std::abs(a - b) / denom;
+}
+
+struct GradCheckOptions {
+  float h = 1e-2f;       ///< central-difference step (float32 precision)
+  double tol = 5e-2;     ///< relative-error tolerance
+  double abs_floor = 2e-3;  ///< see rel_err; scale up when h is small
+  bool train_mode = true;
+  std::int64_t max_coords = 400;  ///< per-tensor coordinate cap
+};
+
+/// Checks dL/dx and dL/dtheta of `layer` at input `x`.
+inline void check_layer_gradients(nn::Layer& layer, Tensor x,
+                                  const GradCheckOptions& opt = {}) {
+  Rng rng(2024);
+  // Nudge inputs away from ReLU/MaxPool kinks.
+  for (auto& v : x.span())
+    if (std::abs(v) < 2 * opt.h) v += (v >= 0 ? 4 : -4) * opt.h;
+
+  Tensor out = layer.forward(x, opt.train_mode);
+  const Tensor r = Tensor::rand_uniform(out.shape(), rng, -1.0f, 1.0f);
+
+  layer.zero_grad();
+  const Tensor grad_in = layer.backward(r);
+
+  auto loss_at = [&](const Tensor& xx) {
+    return layer.forward(xx, opt.train_mode).dot(r);
+  };
+
+  // ---- input gradient ----
+  {
+    Tensor xp = x;
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, x.numel() / opt.max_coords);
+    for (std::int64_t i = 0; i < x.numel(); i += stride) {
+      const float orig = xp[i];
+      xp[i] = orig + opt.h;
+      const double lp = loss_at(xp);
+      xp[i] = orig - opt.h;
+      const double lm = loss_at(xp);
+      xp[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * opt.h);
+      EXPECT_LT(rel_err(numeric, grad_in[i], opt.abs_floor), opt.tol)
+          << "input coord " << i << ": numeric " << numeric << " vs analytic "
+          << grad_in[i];
+    }
+  }
+
+  // ---- parameter gradients ----
+  const auto params = layer.parameters();
+  const auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& theta = *params[p];
+    const Tensor& g = *grads[p];
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, theta.numel() / opt.max_coords);
+    for (std::int64_t i = 0; i < theta.numel(); i += stride) {
+      const float orig = theta[i];
+      theta[i] = orig + opt.h;
+      const double lp = loss_at(x);
+      theta[i] = orig - opt.h;
+      const double lm = loss_at(x);
+      theta[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * opt.h);
+      EXPECT_LT(rel_err(numeric, g[i], opt.abs_floor), opt.tol)
+          << "param " << p << " coord " << i << ": numeric " << numeric
+          << " vs analytic " << g[i];
+    }
+  }
+}
+
+}  // namespace fp::test

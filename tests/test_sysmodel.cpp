@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "sysmodel/cost_model.hpp"
+#include "sysmodel/device.hpp"
+#include "sysmodel/layer_spec.hpp"
+
+namespace fp::sys {
+namespace {
+
+TEST(LayerSpec, ConvOutShape) {
+  const auto conv = LayerSpec::conv2d(3, 16, 3, 2, 1);
+  const TensorShape out = out_shape(conv, {3, 9, 9});
+  EXPECT_EQ(out.c, 16);
+  EXPECT_EQ(out.h, 5);
+  EXPECT_EQ(out.w, 5);
+  EXPECT_THROW(out_shape(conv, {4, 9, 9}), std::invalid_argument);
+}
+
+TEST(LayerSpec, PoolingAndFlattenShapes) {
+  EXPECT_EQ(out_shape(LayerSpec::maxpool(2), {8, 6, 6}).h, 3);
+  EXPECT_EQ(out_shape(LayerSpec::global_avg_pool(), {8, 6, 6}).numel(), 8);
+  EXPECT_EQ(out_shape(LayerSpec::flatten(), {8, 6, 6}).c, 288);
+}
+
+TEST(LayerSpec, ParamCounts) {
+  EXPECT_EQ(layer_param_count(LayerSpec::conv2d(3, 64, 3, 1, 1)),
+            64 * 3 * 9 + 64);
+  EXPECT_EQ(layer_param_count(LayerSpec::conv2d(3, 64, 3, 1, 1, false)),
+            64 * 3 * 9);
+  EXPECT_EQ(layer_param_count(LayerSpec::linear(512, 10)), 512 * 10 + 10);
+  EXPECT_EQ(layer_param_count(LayerSpec::batchnorm(32)), 64);
+  EXPECT_EQ(layer_param_count(LayerSpec::relu()), 0);
+}
+
+TEST(LayerSpec, ConvMacsHandComputed) {
+  // 64 output channels on 32x32 with 3x3x3 kernel: 64*1024*27 MACs.
+  const auto conv = LayerSpec::conv2d(3, 64, 3, 1, 1);
+  EXPECT_EQ(layer_forward_macs(conv, {3, 32, 32}), 64LL * 1024 * 27);
+}
+
+TEST(AtomSpec, ResidualBlockAccounting) {
+  AtomSpec block;
+  block.name = "bb";
+  block.residual = true;
+  block.layers = {LayerSpec::conv2d(8, 16, 3, 2, 1, false), LayerSpec::batchnorm(16),
+                  LayerSpec::relu(), LayerSpec::conv2d(16, 16, 3, 1, 1, false),
+                  LayerSpec::batchnorm(16)};
+  block.shortcut = {LayerSpec::conv2d(8, 16, 1, 2, 0, false),
+                    LayerSpec::batchnorm(16)};
+  const TensorShape in{8, 8, 8};
+  EXPECT_EQ(atom_out_shape(block, in).c, 16);
+  EXPECT_EQ(atom_out_shape(block, in).h, 4);
+  // Params: conv1 8*16*9 + bn 32 + conv2 16*16*9 + bn 32 + sc 8*16 + bn 32.
+  EXPECT_EQ(atom_param_count(block), 8 * 16 * 9 + 32 + 16 * 16 * 9 + 32 + 128 + 32);
+  // Shortcut + sum counted in MACs and activations.
+  EXPECT_GT(atom_forward_macs(block, in),
+            layer_forward_macs(block.layers[0], in));
+  EXPECT_GT(atom_activation_numel(block, in), 0);
+}
+
+TEST(ModelSpec, ShapeBeforeWalksAtoms) {
+  ModelSpec m;
+  m.name = "toy";
+  m.input = {3, 8, 8};
+  m.num_classes = 4;
+  m.atoms.push_back({"c1",
+                     {LayerSpec::conv2d(3, 8, 3, 1, 1), LayerSpec::relu(),
+                      LayerSpec::maxpool(2)},
+                     false,
+                     {}});
+  m.atoms.push_back(
+      {"head", {LayerSpec::flatten(), LayerSpec::linear(8 * 16, 4)}, false, {}});
+  EXPECT_EQ(m.shape_before(0).numel(), 3 * 64);
+  EXPECT_EQ(m.shape_before(1).numel(), 8 * 16);
+  EXPECT_EQ(m.total_params(), 8 * 3 * 9 + 8 + 8 * 16 * 4 + 4);
+}
+
+ModelSpec toy_model() {
+  ModelSpec m;
+  m.name = "toy";
+  m.input = {3, 8, 8};
+  m.num_classes = 4;
+  m.atoms.push_back({"c1",
+                     {LayerSpec::conv2d(3, 8, 3, 1, 1), LayerSpec::relu()},
+                     false,
+                     {}});
+  m.atoms.push_back({"c2",
+                     {LayerSpec::conv2d(8, 8, 3, 1, 1), LayerSpec::relu(),
+                      LayerSpec::maxpool(2)},
+                     false,
+                     {}});
+  m.atoms.push_back(
+      {"head", {LayerSpec::flatten(), LayerSpec::linear(8 * 16, 4)}, false, {}});
+  return m;
+}
+
+TEST(CostModel, MemGrowsWithRangeAndBatch) {
+  const ModelSpec m = toy_model();
+  const auto m1 = module_train_mem_bytes(m, 0, 1, 8, true);
+  const auto m2 = module_train_mem_bytes(m, 0, 2, 8, true);
+  const auto m1b = module_train_mem_bytes(m, 0, 1, 16, true);
+  EXPECT_GT(m2, m1);
+  EXPECT_GT(m1b, m1);
+}
+
+TEST(CostModel, AuxHeadAddsParamsAndLogits) {
+  const ModelSpec m = toy_model();
+  EXPECT_GT(module_train_mem_bytes(m, 0, 1, 8, true),
+            module_train_mem_bytes(m, 0, 1, 8, false));
+  EXPECT_EQ(aux_head_params(m, 1), 8 * 4 + 4);  // GAP + FC: channels x classes
+}
+
+TEST(CostModel, MacsScaleWithBatch) {
+  const ModelSpec m = toy_model();
+  EXPECT_EQ(module_forward_macs(m, 0, 2, 16, false),
+            2 * module_forward_macs(m, 0, 2, 8, false));
+}
+
+TEST(CostModel, NoSwapWhenModelFits) {
+  const ModelSpec m = toy_model();
+  TrainCostConfig cfg;
+  cfg.batch_size = 8;
+  cfg.pgd_steps = 10;
+  const auto cost = train_step_cost(m, 0, m.atoms.size(), false, cfg,
+                                    /*avail=*/1ll << 30);
+  EXPECT_EQ(cost.swap_bytes, 0.0);
+  EXPECT_EQ(cost.swap_traversals, 0);
+  EXPECT_GT(cost.compute_flops, 0.0);
+}
+
+TEST(CostModel, SwapActivatesUnderMemoryPressure) {
+  const ModelSpec m = toy_model();
+  TrainCostConfig cfg;
+  cfg.batch_size = 64;
+  cfg.pgd_steps = 10;
+  const auto mem = module_train_mem_bytes(m, 0, m.atoms.size(), 64, false);
+  const auto cost = train_step_cost(m, 0, m.atoms.size(), false, cfg, mem / 2);
+  EXPECT_GT(cost.swap_bytes, 0.0);
+  EXPECT_EQ(cost.swap_traversals, 2 * (cfg.pgd_steps + 1));
+}
+
+TEST(CostModel, PgdMultipliesComputeButNotPrefix) {
+  const ModelSpec m = toy_model();
+  TrainCostConfig st;
+  st.batch_size = 8;
+  st.pgd_steps = 0;
+  TrainCostConfig at = st;
+  at.pgd_steps = 10;
+  const auto c_st = train_step_cost(m, 1, 2, true, st, 1ll << 30);
+  const auto c_at = train_step_cost(m, 1, 2, true, at, 1ll << 30);
+  // AT multiplies the module passes by 11x but the frozen-prefix forward
+  // happens once in both cases.
+  EXPECT_GT(c_at.compute_flops, 10.0 * (c_st.compute_flops -
+                                        module_forward_macs(m, 0, 1, 8, false)));
+  EXPECT_LT(c_at.compute_flops, 11.0 * c_st.compute_flops);
+}
+
+TEST(CostModel, StepTimeComposition) {
+  StepCost cost;
+  cost.compute_flops = 1e9;
+  cost.swap_bytes = 2e9;
+  cost.swap_traversals = 4;
+  TrainCostConfig cfg;
+  cfg.utilization = 0.5;
+  cfg.swap_driver_overhead_s = 0.01;
+  const auto t = step_time(cost, /*peak=*/1e12, /*bw=*/1e9, cfg);
+  EXPECT_NEAR(t.compute_s, 1e9 / 5e11, 1e-9);
+  EXPECT_NEAR(t.access_s, 2.0 + 0.04, 1e-9);
+}
+
+TEST(DevicePool, MatchesPaperTables) {
+  const auto& cifar = cifar_device_pool();
+  ASSERT_EQ(cifar.size(), 10u);
+  EXPECT_EQ(cifar[0].name, "GTX 1650m");
+  EXPECT_DOUBLE_EQ(cifar[0].peak_tflops, 3.1);
+  EXPECT_DOUBLE_EQ(cifar[4].mem_gb, 1.0);  // Radeon HD 6870
+  const auto& caltech = caltech_device_pool();
+  ASSERT_EQ(caltech.size(), 10u);
+  EXPECT_EQ(caltech[5].name, "RTX 4090m");
+  EXPECT_DOUBLE_EQ(caltech[5].peak_tflops, 33.0);
+}
+
+TEST(DeviceSampler, DegradationWithinBounds) {
+  // Paper B.1 / Fig. 6: available memory is 0-20% of peak; available
+  // performance 0-100% of peak (with a 10% progress floor).
+  DeviceSampler sampler(cifar_device_pool(), Heterogeneity::kBalanced, 5);
+  for (int i = 0; i < 200; ++i) {
+    const auto inst = sampler.sample();
+    const Device& d = cifar_device_pool()[inst.pool_index];
+    EXPECT_LE(static_cast<double>(inst.avail_mem_bytes),
+              0.2 * static_cast<double>(d.mem_bytes()) + 1.0);
+    EXPECT_GE(inst.avail_mem_bytes, 0);
+    EXPECT_LE(inst.avail_flops, d.peak_flops());
+    EXPECT_GE(inst.avail_flops, 0.1 * d.peak_flops());
+  }
+}
+
+TEST(DeviceSampler, UnbalancedPrefersWeakDevices) {
+  DeviceSampler balanced(cifar_device_pool(), Heterogeneity::kBalanced, 6);
+  DeviceSampler unbalanced(cifar_device_pool(), Heterogeneity::kUnbalanced, 6);
+  auto mean_mem = [](DeviceSampler& s) {
+    double m = 0;
+    for (int i = 0; i < 2000; ++i) m += static_cast<double>(s.sample().avail_mem_bytes);
+    return m / 2000;
+  };
+  // The CIFAR pool's weak devices hold 2 GB vs a 2.5 GB balanced mean, so
+  // inverse-weighting drops the mean by ~20%.
+  EXPECT_LT(mean_mem(unbalanced), 0.9 * mean_mem(balanced));
+}
+
+TEST(DeviceSampler, Deterministic) {
+  DeviceSampler a(cifar_device_pool(), Heterogeneity::kBalanced, 9);
+  DeviceSampler b(cifar_device_pool(), Heterogeneity::kBalanced, 9);
+  for (int i = 0; i < 20; ++i) {
+    const auto ia = a.sample(), ib = b.sample();
+    EXPECT_EQ(ia.pool_index, ib.pool_index);
+    EXPECT_EQ(ia.avail_mem_bytes, ib.avail_mem_bytes);
+  }
+}
+
+TEST(DeviceSampler, CifarPoolOftenCannotFitVgg16Training) {
+  // The paper's premise: jFAT's 302 MB VGG16 exceeds most clients' real-time
+  // available memory (0-20% of 1-4 GB), forcing memory swapping.
+  DeviceSampler s(cifar_device_pool(), Heterogeneity::kBalanced, 10);
+  int starved = 0;
+  const std::int64_t need = 302ll << 20;
+  for (int i = 0; i < 500; ++i) starved += s.sample().avail_mem_bytes < need;
+  EXPECT_GT(starved, 250);
+}
+
+}  // namespace
+}  // namespace fp::sys

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.hpp"
+
+namespace fp {
+namespace {
+
+TEST(Tensor, ZeroInitializedWithShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3u);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FactoryFull) {
+  const Tensor t = Tensor::full({3, 3}, 2.5f);
+  EXPECT_FLOAT_EQ(t.sum(), 9 * 2.5f);
+  EXPECT_FLOAT_EQ(t.mean(), 2.5f);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor::from_vector({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::from_vector({4}, {1, 2, 3, 4});
+  const Tensor b = Tensor::from_vector({4}, {10, 20, 30, 40});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a[3], 44.0f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a[3], 4.0f);
+  a.mul_(b);
+  EXPECT_FLOAT_EQ(a[0], 10.0f);
+  a.scale_(0.1f);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  a.add_scaled_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[1], 2.0f * 20.0f * 0.1f + 10.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(Tensor, ClampSignRelu) {
+  Tensor t = Tensor::from_vector({5}, {-2, -0.5, 0, 0.5, 2});
+  Tensor c = t;
+  c.clamp_(-1, 1);
+  EXPECT_FLOAT_EQ(c[0], -1.0f);
+  EXPECT_FLOAT_EQ(c[4], 1.0f);
+  Tensor s = t;
+  s.sign_();
+  EXPECT_FLOAT_EQ(s[0], -1.0f);
+  EXPECT_FLOAT_EQ(s[2], 0.0f);
+  EXPECT_FLOAT_EQ(s[4], 1.0f);
+  Tensor r = t;
+  r.relu_();
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 0.5f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_vector({2, 2}, {-3, 1, 2, -1});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(9.0 + 1 + 4 + 1), 1e-5);
+  EXPECT_EQ(t.argmax(), 2);
+}
+
+TEST(Tensor, ArgmaxRows) {
+  const Tensor t = Tensor::from_vector({2, 3}, {0, 5, 1, 9, 2, 3});
+  const auto preds = t.argmax_rows();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], 1);
+  EXPECT_EQ(preds[1], 0);
+}
+
+TEST(Tensor, RowL2NormsAndScaleRows) {
+  Tensor t = Tensor::from_vector({2, 2}, {3, 4, 0, 5});
+  const auto norms = t.row_l2_norms();
+  EXPECT_NEAR(norms[0], 5.0, 1e-5);
+  EXPECT_NEAR(norms[1], 5.0, 1e-5);
+  t.scale_rows_({2.0f, 0.5f});
+  EXPECT_FLOAT_EQ(t[0], 6.0f);
+  EXPECT_FLOAT_EQ(t[3], 2.5f);
+  EXPECT_THROW(t.scale_rows_({1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, SliceAndSetRows) {
+  Tensor t = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor s = t.slice_rows(1, 2);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_FLOAT_EQ(s[0], 3.0f);
+  Tensor u({3, 2});
+  u.set_rows(1, s);
+  EXPECT_FLOAT_EQ(u[2], 3.0f);
+  EXPECT_FLOAT_EQ(u[5], 6.0f);
+  EXPECT_THROW(t.slice_rows(2, 2), std::out_of_range);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(2);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hist[rng.uniform_int(10)];
+  for (const int h : hist) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.1f);
+  double var = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) var += t[i] * t[i];
+  EXPECT_NEAR(var / t.numel(), 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace fp
