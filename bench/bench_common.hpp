@@ -43,7 +43,7 @@ inline const char* workload_name(Workload w) {
 
 /// Everything an accuracy-plane run needs.
 struct BenchSetup {
-  Workload workload;
+  Workload workload = Workload::kCifar;
   data::TrainTest data;
   fed::FlConfig fl;
   fed::FedEnv env;
@@ -56,7 +56,8 @@ struct BenchSetup {
 };
 
 inline BenchSetup make_setup(Workload w, sys::Heterogeneity het) {
-  BenchSetup s{.workload = w};
+  BenchSetup s;
+  s.workload = w;
   data::SyntheticConfig dcfg =
       w == Workload::kCifar ? data::synth_cifar_config()
                             : data::synth_caltech_config();

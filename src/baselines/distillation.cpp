@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "baselines/local_at.hpp"
+#include "core/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::baselines {
@@ -48,20 +49,32 @@ void DistillationFAT::run_round(std::int64_t t) {
   globals.reserve(prototypes_.size());
   for (auto& p : prototypes_) globals.push_back(p->save_all());
 
-  std::vector<fed::ClientWork> work;
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+  // Each client trains a private replica of its architecture's prototype, so
+  // same-arch clients can run concurrently; uploads are averaged below in
+  // client order.
+  std::vector<std::size_t> archs(rc.ids.size());
+  for (std::size_t i = 0; i < rc.ids.size(); ++i)
+    archs[i] = rc.devices.empty() ? prototypes_.size() - 1
+                                  : arch_for_mem(rc.devices[i].avail_mem_bytes);
+  std::vector<nn::ParamBlob> uploads(rc.ids.size());
+  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
+    const auto i = static_cast<std::size_t>(ti);
     const std::size_t k = rc.ids[i];
-    const std::size_t arch =
-        rc.devices.empty() ? prototypes_.size() - 1
-                           : arch_for_mem(rc.devices[i].avail_mem_bytes);
-    auto& proto = *prototypes_[arch];
-    proto.load_all(globals[arch]);
-    nn::Sgd opt(proto.parameters_range(0, proto.num_atoms()),
-                proto.gradients_range(0, proto.num_atoms()), sgd);
+    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+    models::BuiltModel local(cfg2_.family[archs[i]], build_rng);
+    local.load_all(globals[archs[i]]);
+    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+                local.gradients_range(0, local.num_atoms()), sgd);
     auto& batches = clients_.batches(k, cfg_.batch_size);
     for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(proto, opt, batches.next(), at, clients_.rng(k));
-    per_arch[arch].add(proto.save_all(), env_->weights[k]);
+      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
+    uploads[i] = local.save_all();
+  });
+
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const std::size_t arch = archs[i];
+    per_arch[arch].add(uploads[i], env_->weights[rc.ids[i]]);
 
     fed::ClientWork w;
     w.atom_begin = 0;

@@ -1,6 +1,7 @@
 #include "baselines/fedrbn.hpp"
 
 #include "baselines/local_at.hpp"
+#include "core/parallel.hpp"
 
 namespace fp::baselines {
 
@@ -17,33 +18,47 @@ FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
 void FedRbn::run_round(std::int64_t t) {
   const auto rc = sample_round();
   const nn::ParamBlob global = model_.save_all();
-  fed::BlobAverager averager;
   nn::SgdConfig sgd = cfg_.sgd;
   sgd.lr = lr_at(t);
 
-  std::vector<fed::ClientWork> work;
+  // Per-client adversarial eligibility is a pure function of the sampled
+  // devices; compute it up front so the counters stay in client order.
+  std::vector<char> can_at(rc.ids.size());
   for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    const std::size_t k = rc.ids[i];
-    const bool can_at =
-        rc.devices.empty() ||
-        static_cast<double>(rc.devices[i].avail_mem_bytes) *
-                cfg2_.device_mem_scale >=
-            static_cast<double>(full_mem_bytes_);
+    can_at[i] = rc.devices.empty() ||
+                static_cast<double>(rc.devices[i].avail_mem_bytes) *
+                        cfg2_.device_mem_scale >=
+                    static_cast<double>(full_mem_bytes_);
     ++selections_;
-    at_selections_ += can_at;
+    at_selections_ += can_at[i];
+  }
 
-    model_.load_all(global);
+  // Clients train concurrently on private replicas (dual-BN banks travel in
+  // the blob); uploads are averaged below in client order.
+  std::vector<nn::ParamBlob> uploads(rc.ids.size());
+  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
+    const auto i = static_cast<std::size_t>(ti);
+    const std::size_t k = rc.ids[i];
+    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+    models::BuiltModel local(model_.spec(), build_rng);
+    local.load_all(global);
     LocalAtConfig at;
     at.epsilon = cfg_.epsilon0;
-    at.pgd_steps = can_at ? cfg_.pgd_steps : 0;
-    at.adversarial = can_at;
-    at.dual_bn = can_at;
-    nn::Sgd opt(model_.parameters_range(0, model_.num_atoms()),
-                model_.gradients_range(0, model_.num_atoms()), sgd);
+    at.pgd_steps = can_at[i] ? cfg_.pgd_steps : 0;
+    at.adversarial = can_at[i];
+    at.dual_bn = can_at[i];
+    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+                local.gradients_range(0, local.num_atoms()), sgd);
     auto& batches = clients_.batches(k, cfg_.batch_size);
     for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(model_, opt, batches.next(), at, clients_.rng(k));
-    averager.add(model_.save_all(), env_->weights[k]);
+      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
+    uploads[i] = local.save_all();
+  });
+
+  fed::BlobAverager averager;
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    averager.add(uploads[i], env_->weights[rc.ids[i]]);
 
     fed::ClientWork w;
     w.atom_begin = 0;
@@ -51,7 +66,7 @@ void FedRbn::run_round(std::int64_t t) {
     w.with_aux = false;
     // Standard training on memory-poor clients: 1 forward + 1 backward and
     // the model may still need swapping if even ST exceeds memory.
-    w.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+    w.pgd_steps = can_at[i] ? cfg_.pgd_steps : 0;
     work.push_back(w);
   }
   model_.load_all(averager.average());

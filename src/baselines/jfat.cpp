@@ -1,5 +1,7 @@
 #include "baselines/jfat.hpp"
 
+#include "core/parallel.hpp"
+
 namespace fp::baselines {
 
 JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
@@ -13,7 +15,6 @@ void JFat::run_round(std::int64_t t) {
   const auto rc = sample_round();
   const nn::ParamBlob global = model_.save_all();
 
-  fed::BlobAverager averager;
   LocalAtConfig at;
   at.epsilon = cfg_.epsilon0;
   at.pgd_steps = adversarial_ ? cfg_.pgd_steps : 0;
@@ -21,15 +22,29 @@ void JFat::run_round(std::int64_t t) {
   nn::SgdConfig sgd = cfg_.sgd;
   sgd.lr = lr_at(t);
 
-  std::vector<fed::ClientWork> work;
-  for (const std::size_t k : rc.ids) {
-    model_.load_all(global);
-    nn::Sgd opt(model_.parameters_range(0, model_.num_atoms()),
-                model_.gradients_range(0, model_.num_atoms()), sgd);
+  // Clients train concurrently on private replicas of the broadcast model;
+  // each task touches only its own client's RNG/batch state. Uploads are
+  // averaged below in client order, so rounds are bit-identical for any
+  // FP_NUM_THREADS.
+  std::vector<nn::ParamBlob> uploads(rc.ids.size());
+  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
+    const auto i = static_cast<std::size_t>(ti);
+    const std::size_t k = rc.ids[i];
+    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+    models::BuiltModel local(model_.spec(), build_rng);
+    local.load_all(global);
+    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+                local.gradients_range(0, local.num_atoms()), sgd);
     auto& batches = clients_.batches(k, cfg_.batch_size);
     for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(model_, opt, batches.next(), at, clients_.rng(k));
-    averager.add(model_.save_all(), env_->weights[k]);
+      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
+    uploads[i] = local.save_all();
+  });
+
+  fed::BlobAverager averager;
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    averager.add(uploads[i], env_->weights[rc.ids[i]]);
 
     fed::ClientWork w;
     w.atom_begin = 0;

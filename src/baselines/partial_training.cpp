@@ -1,8 +1,10 @@
 #include "baselines/partial_training.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "baselines/local_at.hpp"
+#include "core/parallel.hpp"
 
 namespace fp::baselines {
 
@@ -44,35 +46,51 @@ void PartialTrainingFAT::run_round(std::int64_t t) {
   nn::SgdConfig sgd = cfg_.sgd;
   sgd.lr = lr_at(t);
 
-  std::vector<fed::ClientWork> work;
+  // Slice plans consume the shared per-round RNG, so draw them sequentially
+  // in client order before fanning the training out.
   Rng slice_rng(cfg_.seed + 31 * static_cast<std::uint64_t>(t));
+  std::vector<double> ratios(rc.ids.size());
+  std::vector<models::SlicePlan> plans;
+  plans.reserve(rc.ids.size());
   for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    const std::size_t k = rc.ids[i];
-    const double ratio = rc.devices.empty()
-                             ? 1.0
-                             : ratio_for_mem(rc.devices[i].avail_mem_bytes);
-    const auto plan = models::make_slice_plan(model_.spec(), ratio, cfg2_.scheme,
-                                              t, slice_rng);
-    Rng build_rng(cfg_.seed + 77 * static_cast<std::uint64_t>(t) + k);
-    models::BuiltModel sliced(plan.sliced_spec, build_rng);
-    models::gather_weights(model_.spec(), plan, model_, sliced);
+    ratios[i] = rc.devices.empty() ? 1.0
+                                   : ratio_for_mem(rc.devices[i].avail_mem_bytes);
+    plans.push_back(models::make_slice_plan(model_.spec(), ratios[i],
+                                            cfg2_.scheme, t, slice_rng));
+  }
 
-    nn::Sgd opt(sliced.parameters_range(0, sliced.num_atoms()),
-                sliced.gradients_range(0, sliced.num_atoms()), sgd);
+  // Clients train their sliced sub-models concurrently; gather_weights only
+  // reads the global model. Scatter-accumulation happens below in client
+  // order, so rounds are bit-identical for any FP_NUM_THREADS.
+  std::vector<std::unique_ptr<models::BuiltModel>> trained(rc.ids.size());
+  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
+    const auto i = static_cast<std::size_t>(ti);
+    const std::size_t k = rc.ids[i];
+    Rng build_rng(cfg_.seed + 77 * static_cast<std::uint64_t>(t) + k);
+    auto sliced =
+        std::make_unique<models::BuiltModel>(plans[i].sliced_spec, build_rng);
+    models::gather_weights(model_.spec(), plans[i], model_, *sliced);
+
+    nn::Sgd opt(sliced->parameters_range(0, sliced->num_atoms()),
+                sliced->gradients_range(0, sliced->num_atoms()), sgd);
     auto& batches = clients_.batches(k, cfg_.batch_size);
     for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(sliced, opt, batches.next(), at, clients_.rng(k));
+      at_train_batch(*sliced, opt, batches.next(), at, clients_.rng(k));
+    trained[i] = std::move(sliced);
+  });
 
+  std::vector<fed::ClientWork> work;
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
     for (std::size_t a = 0; a < model_.num_atoms(); ++a)
-      acc.add_sliced_atom(plan, sliced, a, env_->weights[k]);
+      acc.add_sliced_atom(plans[i], *trained[i], a, env_->weights[rc.ids[i]]);
 
     fed::ClientWork w;
     w.atom_begin = 0;
     w.atom_end = env_->cost_spec.atoms.size();
     w.with_aux = false;
     w.pgd_steps = at.pgd_steps;
-    w.mem_scale = ratio;          // sub-model fits: no swapping
-    w.flops_scale = ratio * ratio;
+    w.mem_scale = ratios[i];      // sub-model fits: no swapping
+    w.flops_scale = ratios[i] * ratios[i];
     work.push_back(w);
   }
   acc.finalize_into(model_);

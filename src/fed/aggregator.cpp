@@ -60,6 +60,24 @@ void PartialAccumulator::add_dense_atom(models::BuiltModel& trained,
   }
 }
 
+void PartialAccumulator::add_dense_atom_blob(std::size_t atom,
+                                             const nn::ParamBlob& blob,
+                                             float weight) {
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < acc_[atom].size(); ++i) {
+    Tensor& acc = acc_[atom][i];
+    const auto numel = static_cast<std::size_t>(acc.numel());
+    if (offset + numel > blob.size())
+      throw std::logic_error("add_dense_atom_blob: blob too small");
+    for (std::size_t j = 0; j < numel; ++j)
+      acc[static_cast<std::int64_t>(j)] += weight * blob[offset + j];
+    count_[atom][i].add_scalar_(weight);
+    offset += numel;
+  }
+  if (offset != blob.size())
+    throw std::logic_error("add_dense_atom_blob: blob size mismatch");
+}
+
 void PartialAccumulator::add_sliced_atom(const models::SlicePlan& plan,
                                          models::BuiltModel& sliced,
                                          std::size_t atom, float weight) {

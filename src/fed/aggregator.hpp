@@ -39,6 +39,12 @@ class PartialAccumulator {
   /// Adds a full-width trained copy of atom `atom` (same architecture).
   void add_dense_atom(models::BuiltModel& trained, std::size_t atom, float weight);
 
+  /// Same, from the atom's wire blob (save_atom format: parameters then
+  /// buffers). Lets parallel client workers upload blobs that the server
+  /// accumulates in deterministic client order.
+  void add_dense_atom_blob(std::size_t atom, const nn::ParamBlob& blob,
+                           float weight);
+
   /// Adds a channel-sliced trained copy of atom `atom`.
   void add_sliced_atom(const models::SlicePlan& plan, models::BuiltModel& sliced,
                        std::size_t atom, float weight);

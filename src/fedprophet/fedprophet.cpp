@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/parallel.hpp"
+
 namespace fp::fedprophet {
 
 FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
@@ -49,27 +51,38 @@ void FedProphet::run_round(std::int64_t /*t*/) {
     for (const auto& d : rc.devices) perf_min = std::min(perf_min, d.avail_flops);
   }
 
-  // Snapshot global modules [stage_, end) + aux heads for client restores.
+  // Snapshot the global model + aux heads once; every client trains a
+  // private replica restored from these blobs, so clients can run
+  // concurrently on the shared pool without stepping on the server state.
   const std::size_t num_modules = cascade_.num_modules();
-  std::vector<nn::ParamBlob> global_modules(num_modules), global_aux(num_modules);
-  for (std::size_t j = stage_; j < num_modules; ++j) {
-    global_modules[j] = cascade_.save_module(j);
+  const nn::ParamBlob global_all = model_.save_all();
+  std::vector<nn::ParamBlob> global_aux(num_modules);
+  for (std::size_t j = stage_; j < num_modules; ++j)
     global_aux[j] = cascade_.save_aux(j);
-  }
 
-  fed::PartialAccumulator acc(model_);
-  acc.reset();
-  std::vector<fed::BlobAverager> aux_acc(num_modules);
-  std::vector<fed::ClientWork> work;
-  work.reserve(rc.ids.size());
+  struct ClientUpload {
+    std::size_t atom_begin = 0, atom_end = 0, module_end = 0;
+    std::vector<nn::ParamBlob> atoms;  ///< trained atoms [atom_begin, atom_end)
+    nn::ParamBlob aux;                 ///< aux head of module_end-1 (may be empty)
+    fed::ClientWork work;
+  };
+  std::vector<ClientUpload> uploads(rc.ids.size());
 
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+  // Per-client local training, one pool task per client. Each client only
+  // touches its own RNG stream / batch iterator and a task-private model, so
+  // results are bit-identical for any FP_NUM_THREADS (aggregation below runs
+  // on this thread in client order).
+  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
+    const auto i = static_cast<std::size_t>(ti);
     const std::size_t k = rc.ids[i];
-    // Restore the global state for this client.
-    for (std::size_t j = stage_; j < num_modules; ++j) {
-      cascade_.load_module(j, global_modules[j]);
-      cascade_.load_aux(j, global_aux[j]);
-    }
+    Rng build_rng(0);  // replica init is overwritten by the global snapshot
+    models::BuiltModel local_model(model_.spec(), build_rng);
+    local_model.load_all(global_all);
+    cascade::CascadeState local_cascade(local_model, cascade_.partition(),
+                                        build_rng);
+    for (std::size_t j = stage_; j < num_modules; ++j)
+      local_cascade.load_aux(j, global_aux[j]);
+
     // Differentiated Module Assignment (Eq. 14/15).
     std::size_t module_end = stage_ + 1;
     if (!rc.devices.empty()) {
@@ -92,32 +105,43 @@ void FedProphet::run_round(std::int64_t /*t*/) {
     tcfg.pgd_steps = cfg2_.fl.pgd_steps;
     tcfg.sgd = cfg2_.fl.sgd;
     tcfg.sgd.lr = lr;
-    cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
+    cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
     auto& batches = client_batches(k);
     for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
       trainer.train_batch(batches.next(), clients_[k].rng);
 
-    // Upload: trained atoms into the partial accumulator (Eq. 16) and the
-    // last assigned module's auxiliary head (Eq. 17).
-    const float qk = env_->weights[k];
-    for (std::size_t a = trainer.atom_begin(); a < trainer.atom_end(); ++a)
-      acc.add_dense_atom(model_, a, qk);
-    if (cascade_.aux_head(module_end - 1))
-      aux_acc[module_end - 1].add(cascade_.save_aux(module_end - 1), qk);
+    // Stage the upload: trained atoms (Eq. 16) and the last assigned
+    // module's auxiliary head (Eq. 17).
+    auto& up = uploads[i];
+    up.atom_begin = trainer.atom_begin();
+    up.atom_end = trainer.atom_end();
+    up.module_end = module_end;
+    up.atoms.reserve(up.atom_end - up.atom_begin);
+    for (std::size_t a = up.atom_begin; a < up.atom_end; ++a)
+      up.atoms.push_back(local_model.save_atom(a));
+    if (local_cascade.aux_head(module_end - 1))
+      up.aux = local_cascade.save_aux(module_end - 1);
 
     // Simulated wall-clock contribution.
-    fed::ClientWork w;
-    w.atom_begin = cascade_.partition().modules[stage_].begin;
-    w.atom_end = cascade_.partition().modules[module_end - 1].end;
-    w.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
-    w.pgd_steps = cfg2_.fl.pgd_steps;
-    work.push_back(w);
-  }
+    up.work.atom_begin = cascade_.partition().modules[stage_].begin;
+    up.work.atom_end = cascade_.partition().modules[module_end - 1].end;
+    up.work.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
+    up.work.pgd_steps = cfg2_.fl.pgd_steps;
+  });
 
-  // Server aggregation: restore globals, then apply the averages.
-  for (std::size_t j = stage_; j < num_modules; ++j) {
-    cascade_.load_module(j, global_modules[j]);
-    cascade_.load_aux(j, global_aux[j]);
+  // Server aggregation in client order (deterministic float summation).
+  fed::PartialAccumulator acc(model_);
+  acc.reset();
+  std::vector<fed::BlobAverager> aux_acc(num_modules);
+  std::vector<fed::ClientWork> work;
+  work.reserve(rc.ids.size());
+  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+    const auto& up = uploads[i];
+    const float qk = env_->weights[rc.ids[i]];
+    for (std::size_t a = up.atom_begin; a < up.atom_end; ++a)
+      acc.add_dense_atom_blob(a, up.atoms[a - up.atom_begin], qk);
+    if (!up.aux.empty()) aux_acc[up.module_end - 1].add(up.aux, qk);
+    work.push_back(up.work);
   }
   acc.finalize_into(model_);
   for (std::size_t j = stage_; j < num_modules; ++j)

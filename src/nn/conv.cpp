@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace fp::nn {
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -31,23 +33,42 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  Tensor out({n, out_channels_, oh, ow});
-  Tensor cols({g.col_rows(), g.col_cols()});
+  const std::int64_t ohow = oh * ow;
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t batch_cols = n * ohow;
   const std::int64_t in_plane = in_channels_ * h * w;
-  const std::int64_t out_plane = out_channels_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    im2col(g, x.data() + i * in_plane, cols.data());
-    // out_i[out_c, oh*ow] = W[out_c, rows] * cols[rows, oh*ow]
-    gemm(false, false, out_channels_, g.col_cols(), g.col_rows(), 1.0f,
-         weight_.data(), cols.data(), 0.0f, out.data() + i * out_plane);
-    if (has_bias_) {
-      float* o = out.data() + i * out_plane;
+  const std::int64_t out_plane = out_channels_ * ohow;
+
+  Tensor out({n, out_channels_, oh, ow});
+  scratch_cols_.resize(static_cast<std::size_t>(rows * batch_cols));
+  scratch_iocols_.resize(static_cast<std::size_t>(out_channels_ * batch_cols));
+
+  // Unfold the whole minibatch into one [rows, N*oh*ow] matrix (sample i
+  // owns the column slice [i*ohow, (i+1)*ohow)).
+  const float* xd = x.data();
+  float* cols = scratch_cols_.data();
+  core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i)
+      im2col(g, xd + i * in_plane, cols + i * ohow, batch_cols);
+  });
+
+  // One GEMM for the whole batch: [out_c, rows] x [rows, N*oh*ow].
+  gemm(false, false, out_channels_, batch_cols, rows, 1.0f, weight_.data(),
+       cols, 0.0f, scratch_iocols_.data());
+
+  // Scatter [out_c, N*oh*ow] back to NCHW, folding in the bias.
+  const float* iocols = scratch_iocols_.data();
+  const float* bias = bias_.data();
+  float* od = out.data();
+  core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i)
       for (std::int64_t c = 0; c < out_channels_; ++c) {
-        const float b = bias_[c];
-        for (std::int64_t p = 0; p < oh * ow; ++p) o[c * oh * ow + p] += b;
+        const float* src = iocols + c * batch_cols + i * ohow;
+        float* dst = od + i * out_plane + c * ohow;
+        const float b = has_bias_ ? bias[c] : 0.0f;
+        for (std::int64_t p = 0; p < ohow; ++p) dst[p] = src[p] + b;
       }
-    }
-  }
+  });
   return out;
 }
 
@@ -57,30 +78,55 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
   const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ohow = oh * ow;
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t batch_cols = n * ohow;
   const std::int64_t in_plane = in_channels_ * h * w;
-  const std::int64_t out_plane = out_channels_ * oh * ow;
+  const std::int64_t out_plane = out_channels_ * ohow;
 
-  Tensor grad_in({n, in_channels_, h, w});
-  Tensor cols({g.col_rows(), g.col_cols()});
-  Tensor grad_cols({g.col_rows(), g.col_cols()});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* go = grad_out.data() + i * out_plane;
-    // grad_W += go[out_c, cols] * cols^T  -> recompute im2col (memory saving).
-    im2col(g, x.data() + i * in_plane, cols.data());
-    gemm(false, true, out_channels_, g.col_rows(), g.col_cols(), 1.0f, go,
-         cols.data(), 1.0f, grad_weight_.data());
-    if (has_bias_) {
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        double s = 0.0;
-        for (std::int64_t p = 0; p < oh * ow; ++p) s += go[c * oh * ow + p];
-        grad_bias_[c] += static_cast<float>(s);
+  scratch_cols_.resize(static_cast<std::size_t>(rows * batch_cols));
+  scratch_iocols_.resize(static_cast<std::size_t>(out_channels_ * batch_cols));
+  scratch_grad_cols_.resize(static_cast<std::size_t>(rows * batch_cols));
+
+  // Gather grad_out from NCHW into [out_c, N*oh*ow], folding the grad_bias
+  // reduction into the same pass (per channel, samples in fixed order, so the
+  // sum is identical for any thread count).
+  const float* god = grad_out.data();
+  float* iocols = scratch_iocols_.data();
+  core::parallel_for(0, out_channels_, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      double s = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* src = god + i * out_plane + c * ohow;
+        float* dst = iocols + c * batch_cols + i * ohow;
+        for (std::int64_t p = 0; p < ohow; ++p) {
+          dst[p] = src[p];
+          s += src[p];
+        }
       }
+      if (has_bias_) grad_bias_[c] += static_cast<float>(s);
     }
-    // grad_cols = W^T * go, then fold back to image space.
-    gemm(true, false, g.col_rows(), g.col_cols(), out_channels_, 1.0f,
-         weight_.data(), go, 0.0f, grad_cols.data());
-    col2im(g, grad_cols.data(), grad_in.data() + i * in_plane);
-  }
+  });
+
+  // scratch_cols_ still holds the forward pass's unfold of cached_input_
+  // (forward always rewrites it together with cached_input_), so backward
+  // reuses it instead of redoing the whole-batch im2col.
+  const float* cols = scratch_cols_.data();
+
+  // grad_W += go[out_c, N*oh*ow] * cols^T — one GEMM over the whole batch.
+  gemm(false, true, out_channels_, rows, batch_cols, 1.0f, iocols, cols, 1.0f,
+       grad_weight_.data());
+
+  // grad_cols = W^T * go, then fold each sample's slice back to image space.
+  gemm(true, false, rows, batch_cols, out_channels_, 1.0f, weight_.data(),
+       iocols, 0.0f, scratch_grad_cols_.data());
+  Tensor grad_in({n, in_channels_, h, w});
+  const float* grad_cols = scratch_grad_cols_.data();
+  float* gid = grad_in.data();
+  core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i)
+      col2im(g, grad_cols + i * ohow, gid + i * in_plane, batch_cols);
+  });
   return grad_in;
 }
 

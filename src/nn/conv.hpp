@@ -1,5 +1,11 @@
-// 2-D convolution layer (square kernels), im2col + GEMM implementation.
+// 2-D convolution layer (square kernels), batched im2col + GEMM
+// implementation: the whole minibatch is unfolded into one
+// [C_in*K*K, N*H_out*W_out] column matrix and each direction issues a single
+// large GEMM, with the bias add / grad_bias reduction folded into the
+// parallel gather/scatter passes.
 #pragma once
+
+#include <vector>
 
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
@@ -37,6 +43,13 @@ class Conv2d final : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_; ///< NCHW input from the last forward
+
+  // Grow-only scratch arenas reused across forward/backward calls (a model
+  // instance is only ever driven by one thread at a time). Not part of the
+  // layer's parameter/buffer state.
+  std::vector<float> scratch_cols_;    ///< im2col of the minibatch [rows, N*oh*ow]
+  std::vector<float> scratch_iocols_;  ///< output/grad-output as [out_c, N*oh*ow]
+  std::vector<float> scratch_grad_cols_;
 };
 
 }  // namespace fp::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::nn {
@@ -33,9 +34,13 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   gemm(false, true, n, out_features_, in_features_, 1.0f, cached_input_.data(),
        weight_.data(), 0.0f, out.data());
   if (has_bias_) {
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t j = 0; j < out_features_; ++j)
-        out[i * out_features_ + j] += bias_[j];
+    float* od = out.data();
+    const float* bias = bias_.data();
+    core::parallel_for(0, n, 64, [&](std::int64_t b0, std::int64_t b1) {
+      for (std::int64_t i = b0; i < b1; ++i)
+        for (std::int64_t j = 0; j < out_features_; ++j)
+          od[i * out_features_ + j] += bias[j];
+    });
   }
   return out;
 }
@@ -47,9 +52,17 @@ Tensor Linear::backward(const Tensor& grad_out) {
   gemm(true, false, out_features_, in_features_, n, 1.0f, grad_out.data(),
        cached_input_.data(), 1.0f, grad_weight_.data());
   if (has_bias_) {
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t j = 0; j < out_features_; ++j)
-        grad_bias_[j] += grad_out[i * out_features_ + j];
+    // Per-output-feature reduction with samples in fixed order: bit-identical
+    // for any thread count.
+    const float* god = grad_out.data();
+    float* gb = grad_bias_.data();
+    core::parallel_for(0, out_features_, 64, [&](std::int64_t j0, std::int64_t j1) {
+      for (std::int64_t j = j0; j < j1; ++j) {
+        float s = gb[j];
+        for (std::int64_t i = 0; i < n; ++i) s += god[i * out_features_ + j];
+        gb[j] = s;
+      }
+    });
   }
   // grad_x = grad_out * W : [N, in]
   Tensor grad_in({n, in_features_});

@@ -1,0 +1,301 @@
+// Cache-blocked, panel-packed SGEMM (Goto-style), the single dense kernel
+// every layer, attack, and baseline funnels through.
+//
+// Loop structure (BLIS nomenclature):
+//   for jc in N by NC          -- C/B column panel
+//     for pc in K by KC        -- rank-KC update, B panel packed once
+//       for ic in M by MC      -- A block packed per worker  <- parallel
+//         for jr in NC by NR   -- micro-panel of packed B
+//           for ir in MC by MR -- micro-panel of packed A -> MRxNR microkernel
+//
+// Packing folds the four transpose variants into one kernel: op(A)/op(B)
+// element access happens only in pack_a/pack_b, and the microkernel always
+// consumes the same contiguous micro-panel layout.
+//
+// Three register-tiled microkernels are compiled via function-level target
+// attributes and selected once at startup with __builtin_cpu_supports:
+//   AVX-512F 14x32, AVX2+FMA 6x16, portable 6x16 (baseline fallback).
+// The blocking constants travel with the kernel so each variant keeps its
+// packed panels inside L1/L2.
+//
+// Determinism: each C element accumulates in k-ascending order across KC
+// panels, entirely within one (ic, jr) tile owned by one chunk; the thread
+// count only changes which thread computes a tile, never the summation
+// order. See core/parallel.hpp for the pool-wide contract.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "tensor/ops.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define FP_GEMM_X86 1
+#endif
+
+namespace fp {
+
+namespace {
+
+using MicroKernel = void (*)(std::int64_t kb, const float* pa, const float* pb,
+                             float* c, std::int64_t ldc, float alpha,
+                             std::int64_t rows, std::int64_t cols);
+
+struct KernelConfig {
+  std::int64_t mr, nr;  ///< microkernel tile
+  std::int64_t kc, mc, nc;  ///< cache blocking (L1 / L2 / L3 resident panels)
+  MicroKernel kernel;
+};
+
+inline std::int64_t round_up(std::int64_t x, std::int64_t to) {
+  return (x + to - 1) / to * to;
+}
+
+/// Packs op(A)[i0:i0+mb, p0:p0+kb] into mr-row micro-panels, zero-padding the
+/// ragged last panel so the microkernel never branches on row count.
+void pack_a(const float* a, bool ta, std::int64_t m, std::int64_t k,
+            std::int64_t i0, std::int64_t mb, std::int64_t p0, std::int64_t kb,
+            std::int64_t mr, float* dst) {
+  for (std::int64_t ir = 0; ir < mb; ir += mr) {
+    const std::int64_t rows = std::min(mr, mb - ir);
+    if (!ta) {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        for (std::int64_t r = 0; r < rows; ++r)
+          dst[p * mr + r] = a[(i0 + ir + r) * k + p0 + p];
+        for (std::int64_t r = rows; r < mr; ++r) dst[p * mr + r] = 0.0f;
+      }
+    } else {
+      // A stored [k, m]: rows of op(A) are contiguous along p's stride m.
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* ap = a + (p0 + p) * m + i0 + ir;
+        for (std::int64_t r = 0; r < rows; ++r) dst[p * mr + r] = ap[r];
+        for (std::int64_t r = rows; r < mr; ++r) dst[p * mr + r] = 0.0f;
+      }
+    }
+    dst += mr * kb;
+  }
+}
+
+/// Packs op(B)[p0:p0+kb, j0:j0+nb] into nr-column micro-panels, zero-padded.
+void pack_b(const float* b, bool tb, std::int64_t k, std::int64_t n,
+            std::int64_t p0, std::int64_t kb, std::int64_t j0, std::int64_t nb,
+            std::int64_t nr, float* dst) {
+  for (std::int64_t jr = 0; jr < nb; jr += nr) {
+    const std::int64_t cols = std::min(nr, nb - jr);
+    if (!tb) {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* bp = b + (p0 + p) * n + j0 + jr;
+        for (std::int64_t c = 0; c < cols; ++c) dst[p * nr + c] = bp[c];
+        for (std::int64_t c = cols; c < nr; ++c) dst[p * nr + c] = 0.0f;
+      }
+    } else {
+      // B stored [n, k]: op(B) columns are contiguous rows of the storage.
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float* bc = b + (j0 + jr + c) * k + p0;
+        for (std::int64_t p = 0; p < kb; ++p) dst[p * nr + c] = bc[p];
+      }
+      for (std::int64_t c = cols; c < nr; ++c)
+        for (std::int64_t p = 0; p < kb; ++p) dst[p * nr + c] = 0.0f;
+    }
+    dst += nr * kb;
+  }
+}
+
+// ---- portable 6x16 microkernel ---------------------------------------------
+
+constexpr std::int64_t GEN_MR = 6, GEN_NR = 16;
+
+void kernel_generic(std::int64_t kb, const float* pa, const float* pb, float* c,
+                    std::int64_t ldc, float alpha, std::int64_t rows,
+                    std::int64_t cols) {
+  float acc[GEN_MR][GEN_NR] = {};
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* ap = pa + p * GEN_MR;
+    const float* bp = pb + p * GEN_NR;
+    for (std::int64_t r = 0; r < GEN_MR; ++r) {
+      const float av = ap[r];
+      for (std::int64_t j = 0; j < GEN_NR; ++j) acc[r][j] += av * bp[j];
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t j = 0; j < cols; ++j) c[r * ldc + j] += alpha * acc[r][j];
+}
+
+#ifdef FP_GEMM_X86
+
+// ---- AVX2+FMA 6x16 microkernel ---------------------------------------------
+
+__attribute__((target("avx2,fma"))) void kernel_avx2(
+    std::int64_t kb, const float* pa, const float* pb, float* c,
+    std::int64_t ldc, float alpha, std::int64_t rows, std::int64_t cols) {
+  __m256 acc[GEN_MR][2];
+  for (std::int64_t r = 0; r < GEN_MR; ++r)
+    acc[r][0] = acc[r][1] = _mm256_setzero_ps();
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(pb + p * GEN_NR);
+    const __m256 b1 = _mm256_loadu_ps(pb + p * GEN_NR + 8);
+    const float* ap = pa + p * GEN_MR;
+    for (std::int64_t r = 0; r < GEN_MR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(ap + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  const __m256 va = _mm256_set1_ps(alpha);
+  if (rows == GEN_MR && cols == GEN_NR) {
+    for (std::int64_t r = 0; r < GEN_MR; ++r) {
+      float* cr = c + r * ldc;
+      _mm256_storeu_ps(cr, _mm256_fmadd_ps(va, acc[r][0], _mm256_loadu_ps(cr)));
+      _mm256_storeu_ps(cr + 8,
+                       _mm256_fmadd_ps(va, acc[r][1], _mm256_loadu_ps(cr + 8)));
+    }
+    return;
+  }
+  alignas(32) float tile[GEN_MR][GEN_NR];
+  for (std::int64_t r = 0; r < GEN_MR; ++r) {
+    _mm256_store_ps(tile[r], acc[r][0]);
+    _mm256_store_ps(tile[r] + 8, acc[r][1]);
+  }
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t j = 0; j < cols; ++j) c[r * ldc + j] += alpha * tile[r][j];
+}
+
+// ---- AVX-512F 14x32 microkernel --------------------------------------------
+// 28 zmm accumulators + 2 B vectors + 1 broadcast = 31 of 32 registers.
+
+constexpr std::int64_t A5_MR = 14, A5_NR = 32;
+
+__attribute__((target("avx512f"))) void kernel_avx512(
+    std::int64_t kb, const float* pa, const float* pb, float* c,
+    std::int64_t ldc, float alpha, std::int64_t rows, std::int64_t cols) {
+  __m512 acc[A5_MR][2];
+  for (std::int64_t r = 0; r < A5_MR; ++r)
+    acc[r][0] = acc[r][1] = _mm512_setzero_ps();
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(pb + p * A5_NR);
+    const __m512 b1 = _mm512_loadu_ps(pb + p * A5_NR + 16);
+    const float* ap = pa + p * A5_MR;
+    for (std::int64_t r = 0; r < A5_MR; ++r) {
+      const __m512 av = _mm512_set1_ps(ap[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  const __m512 va = _mm512_set1_ps(alpha);
+  if (rows == A5_MR && cols == A5_NR) {
+    for (std::int64_t r = 0; r < A5_MR; ++r) {
+      float* cr = c + r * ldc;
+      _mm512_storeu_ps(cr, _mm512_fmadd_ps(va, acc[r][0], _mm512_loadu_ps(cr)));
+      _mm512_storeu_ps(
+          cr + 16, _mm512_fmadd_ps(va, acc[r][1], _mm512_loadu_ps(cr + 16)));
+    }
+    return;
+  }
+  alignas(64) float tile[A5_MR][A5_NR];
+  for (std::int64_t r = 0; r < A5_MR; ++r) {
+    _mm512_store_ps(tile[r], acc[r][0]);
+    _mm512_store_ps(tile[r] + 16, acc[r][1]);
+  }
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t j = 0; j < cols; ++j) c[r * ldc + j] += alpha * tile[r][j];
+}
+
+#endif  // FP_GEMM_X86
+
+KernelConfig pick_config() {
+#ifdef FP_GEMM_X86
+  if (__builtin_cpu_supports("avx512f"))
+    // kc keeps one packed A micro-panel (14*176*4 ~ 10 KB) plus one packed B
+    // micro-panel (32*176*4 ~ 22 KB) inside a 48 KB L1d.
+    return {A5_MR, A5_NR, /*kc=*/176, /*mc=*/14 * 8, /*nc=*/2048, &kernel_avx512};
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return {GEN_MR, GEN_NR, /*kc=*/256, /*mc=*/72, /*nc=*/2048, &kernel_avx2};
+#endif
+  return {GEN_MR, GEN_NR, /*kc=*/256, /*mc=*/72, /*nc=*/2048, &kernel_generic};
+}
+
+const KernelConfig kCfg = pick_config();
+
+/// Grow-only per-thread packing buffers. Safe because a nested gemm runs
+/// entirely inline on its caller's thread, and worker-owned buffers are only
+/// touched by their own thread.
+std::vector<float>& tls_pack_a() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+std::vector<float>& tls_pack_b() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+/// All (jr, ir) tiles of one packed (A block, B panel) pair.
+void run_block(const float* packed_a, std::int64_t mb, const float* packed_b,
+               std::int64_t nb, std::int64_t kb, float* c_block,
+               std::int64_t ldc, float alpha, std::int64_t jr_begin,
+               std::int64_t jr_end) {
+  for (std::int64_t jr = jr_begin; jr < jr_end; jr += kCfg.nr) {
+    const float* pb = packed_b + (jr / kCfg.nr) * kCfg.nr * kb;
+    const std::int64_t cols = std::min(kCfg.nr, nb - jr);
+    for (std::int64_t ir = 0; ir < mb; ir += kCfg.mr) {
+      const float* pa = packed_a + (ir / kCfg.mr) * kCfg.mr * kb;
+      kCfg.kernel(kb, pa, pb, c_block + ir * ldc + jr, ldc, alpha,
+                  std::min(kCfg.mr, mb - ir), cols);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b, float beta,
+          float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  if (k <= 0 || alpha == 0.0f) return;
+
+  const std::int64_t row_blocks = (m + kCfg.mc - 1) / kCfg.mc;
+  // Row blocks feed the pool when there are enough of them; otherwise (wide
+  // outputs with few rows, the batched-conv shape) the whole A block is
+  // packed once and B's column micro-panels are spread instead.
+  const bool split_rows = row_blocks >= core::num_threads();
+
+  for (std::int64_t jc = 0; jc < n; jc += kCfg.nc) {
+    const std::int64_t nb = std::min(kCfg.nc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kCfg.kc) {
+      const std::int64_t kb = std::min(kCfg.kc, k - pc);
+      auto& packed_b = tls_pack_b();
+      packed_b.resize(static_cast<std::size_t>(round_up(nb, kCfg.nr) * kb));
+      pack_b(b, transpose_b, k, n, pc, kb, jc, nb, kCfg.nr, packed_b.data());
+
+      if (split_rows) {
+        core::parallel_for(0, row_blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+          auto& packed_a = tls_pack_a();
+          packed_a.resize(static_cast<std::size_t>(round_up(kCfg.mc, kCfg.mr) * kb));
+          for (std::int64_t blk = b0; blk < b1; ++blk) {
+            const std::int64_t ic = blk * kCfg.mc;
+            const std::int64_t mb = std::min(kCfg.mc, m - ic);
+            pack_a(a, transpose_a, m, k, ic, mb, pc, kb, kCfg.mr, packed_a.data());
+            run_block(packed_a.data(), mb, packed_b.data(), nb, kb,
+                      c + ic * n + jc, n, alpha, 0, nb);
+          }
+        });
+      } else {
+        auto& packed_a = tls_pack_a();
+        packed_a.resize(static_cast<std::size_t>(round_up(m, kCfg.mr) * kb));
+        pack_a(a, transpose_a, m, k, 0, m, pc, kb, kCfg.mr, packed_a.data());
+        const std::int64_t col_blocks = (nb + kCfg.nr - 1) / kCfg.nr;
+        core::parallel_for(0, col_blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+          run_block(packed_a.data(), m, packed_b.data(), nb, kb, c + jc, n,
+                    alpha, b0 * kCfg.nr, std::min(nb, b1 * kCfg.nr));
+        });
+      }
+    }
+  }
+}
+
+}  // namespace fp

@@ -13,9 +13,9 @@ void check_2d(const Tensor& t, const char* what) {
 }
 }  // namespace
 
-void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
-          std::int64_t k, float alpha, const float* a, const float* b, float beta,
-          float* c) {
+void gemm_reference(bool transpose_a, bool transpose_b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, float alpha, const float* a,
+                    const float* b, float beta, float* c) {
   // Scale / clear the destination first so the kernels can accumulate.
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
@@ -29,7 +29,6 @@ void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
       const float* ai = a + i * k;
       for (std::int64_t p = 0; p < k; ++p) {
         const float av = alpha * ai[p];
-        if (av == 0.0f) continue;
         const float* bp = b + p * n;
         for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
       }
@@ -41,7 +40,6 @@ void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
       const float* bp = b + p * n;
       for (std::int64_t i = 0; i < m; ++i) {
         const float av = alpha * ap[i];
-        if (av == 0.0f) continue;
         float* ci = c + i * n;
         for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
       }
@@ -71,6 +69,11 @@ void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
 }
 
 void im2col(const Conv2dGeometry& g, const float* image, float* columns) {
+  im2col(g, image, columns, g.col_cols());
+}
+
+void im2col(const Conv2dGeometry& g, const float* image, float* columns,
+            std::int64_t ld) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t plane = g.in_h * g.in_w;
   std::int64_t row = 0;
@@ -78,7 +81,7 @@ void im2col(const Conv2dGeometry& g, const float* image, float* columns) {
     const float* chan = image + c * plane;
     for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        float* dst = columns + row * (oh * ow);
+        float* dst = columns + row * ld;
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.padding;
           if (iy < 0 || iy >= g.in_h) {
@@ -98,6 +101,11 @@ void im2col(const Conv2dGeometry& g, const float* image, float* columns) {
 }
 
 void col2im(const Conv2dGeometry& g, const float* columns, float* image) {
+  col2im(g, columns, image, g.col_cols());
+}
+
+void col2im(const Conv2dGeometry& g, const float* columns, float* image,
+            std::int64_t ld) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t plane = g.in_h * g.in_w;
   std::int64_t row = 0;
@@ -105,7 +113,7 @@ void col2im(const Conv2dGeometry& g, const float* columns, float* image) {
     float* chan = image + c * plane;
     for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
       for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        const float* src = columns + row * (oh * ow);
+        const float* src = columns + row * ld;
         for (std::int64_t y = 0; y < oh; ++y) {
           const std::int64_t iy = y * g.stride + kh - g.padding;
           if (iy < 0 || iy >= g.in_h) continue;
@@ -204,14 +212,26 @@ struct DlrRowInfo {
 };
 
 DlrRowInfo dlr_row(const float* row, std::int64_t c, std::int64_t y) {
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(c));
-  for (std::int64_t j = 0; j < c; ++j) idx[static_cast<std::size_t>(j)] = j;
-  std::partial_sort(idx.begin(), idx.begin() + std::min<std::int64_t>(3, c), idx.end(),
-                    [row](std::int64_t a, std::int64_t b) { return row[a] > row[b]; });
+  // Fixed top-3 scan: this runs once per sample per AutoAttack iteration, so
+  // no per-row allocation or partial_sort. Ties keep the lowest index.
+  std::int64_t i1 = -1, i2 = -1, i3 = -1;
+  for (std::int64_t j = 0; j < c; ++j) {
+    const float v = row[j];
+    if (i1 < 0 || v > row[i1]) {
+      i3 = i2;
+      i2 = i1;
+      i1 = j;
+    } else if (i2 < 0 || v > row[i2]) {
+      i3 = i2;
+      i2 = j;
+    } else if (i3 < 0 || v > row[i3]) {
+      i3 = j;
+    }
+  }
   DlrRowInfo info{};
-  info.top1 = idx[0];
-  info.top3 = idx[static_cast<std::size_t>(std::min<std::int64_t>(2, c - 1))];
-  info.runner_up = (idx[0] != y) ? idx[0] : idx[1];
+  info.top1 = i1;
+  info.top3 = c >= 3 ? i3 : (c == 2 ? i2 : i1);
+  info.runner_up = (i1 != y) ? i1 : i2;
   info.numer = row[y] - row[info.runner_up];
   info.denom = row[info.top1] - row[info.top3];
   if (info.denom < 1e-12f) info.denom = 1e-12f;

@@ -13,9 +13,20 @@ namespace fp {
 /// C = alpha * op(A) * op(B) + beta * C.
 /// A is [M, K] after op, B is [K, N] after op, C is [M, N].
 /// transpose_a / transpose_b select op(X) = X^T on the stored layout.
+///
+/// Cache-blocked and panel-packed (see gemm.cpp); row/column blocks are
+/// spread over the shared worker pool. The floating-point summation order of
+/// every C element is fixed by the blocking alone, so results are
+/// bit-identical for any FP_NUM_THREADS.
 void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b, float beta,
           float* c);
+
+/// The seed's straightforward single-threaded loops, kept as the parity
+/// oracle for the blocked kernel and as the benchmark baseline.
+void gemm_reference(bool transpose_a, bool transpose_b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, float alpha, const float* a,
+                    const float* b, float beta, float* c);
 
 struct Conv2dGeometry {
   std::int64_t in_channels = 0;
@@ -36,9 +47,19 @@ struct Conv2dGeometry {
 /// Unfolds one image [C, H, W] into a [C*K*K, H_out*W_out] column matrix.
 void im2col(const Conv2dGeometry& g, const float* image, float* columns);
 
+/// Strided variant for batched convolution: writes the sample's columns into
+/// a slice of a wider [C*K*K, ld] matrix, `ld` being the row stride of the
+/// whole-minibatch column buffer (ld = N * H_out * W_out).
+void im2col(const Conv2dGeometry& g, const float* image, float* columns,
+            std::int64_t ld);
+
 /// Folds a column matrix back into an image, accumulating overlaps (+=).
 /// `image` must be zeroed by the caller beforehand.
 void col2im(const Conv2dGeometry& g, const float* columns, float* image);
+
+/// Strided variant matching the strided im2col (reads rows with stride ld).
+void col2im(const Conv2dGeometry& g, const float* columns, float* image,
+            std::int64_t ld);
 
 /// Row-wise softmax of logits [N, C].
 Tensor softmax(const Tensor& logits);
