@@ -18,6 +18,7 @@
 #include <string>
 
 #include "attack/evaluate.hpp"
+#include "fed/history_io.hpp"
 #include "baselines/distillation.hpp"
 #include "baselines/fedrbn.hpp"
 #include "baselines/jfat.hpp"
@@ -112,6 +113,7 @@ struct MethodResult {
   std::string name;
   attack::RobustEvalResult metrics;
   fed::TimeBreakdown sim_time;
+  fed::History history;  ///< accuracy/sim-time trajectory of the run
 };
 
 inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
@@ -147,6 +149,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     baselines::JFat algo(s.env, cfg);
     algo.run();
     result.sim_time = algo.sim_time();
+    result.history = algo.history();
+    fed::export_history_if_requested(name, algo.history());
     eval_into(algo.global_model());
   } else if (name == "FedDF-AT" || name == "FedET-AT") {
     baselines::DistillationConfig cfg;
@@ -159,6 +163,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     baselines::DistillationFAT algo(s.env, cfg);
     algo.run();
     result.sim_time = algo.sim_time();
+    result.history = algo.history();
+    fed::export_history_if_requested(name, algo.history());
     eval_into(algo.global_model());
   } else if (name == "HeteroFL-AT" || name == "FedDrop-AT" ||
              name == "FedRolex-AT") {
@@ -173,6 +179,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     baselines::PartialTrainingFAT algo(s.env, cfg);
     algo.run();
     result.sim_time = algo.sim_time();
+    result.history = algo.history();
+    fed::export_history_if_requested(name, algo.history());
     eval_into(algo.global_model());
   } else if (name == "FedRBN") {
     baselines::FedRbnConfig cfg;
@@ -183,6 +191,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     baselines::FedRbn algo(s.env, cfg);
     algo.run();
     result.sim_time = algo.sim_time();
+    result.history = algo.history();
+    fed::export_history_if_requested(name, algo.history());
     // Dual-BN evaluation: clean bank for clean accuracy, adversarial bank
     // for the attacks.
     algo.use_adv_bank(false);
@@ -207,6 +217,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     fedprophet::FedProphet algo(s.env, cfg);
     algo.train();
     result.sim_time = algo.sim_time();
+    result.history = algo.history();
+    fed::export_history_if_requested(name, algo.history());
     eval_into(algo.global_model());
   } else {
     std::fprintf(stderr, "unknown method %s\n", name.c_str());

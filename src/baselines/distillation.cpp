@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "baselines/local_at.hpp"
-#include "core/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::baselines {
@@ -24,6 +22,7 @@ DistillationFAT::DistillationFAT(fed::FedEnv& env, DistillationConfig cfg)
     family_mem_.push_back(sys::module_train_mem_bytes(
         spec, 0, spec.atoms.size(), cfg2_.fl.batch_size, false));
   }
+  per_arch_.resize(prototypes_.size());
 }
 
 std::size_t DistillationFAT::arch_for_mem(std::int64_t avail_mem_bytes) const {
@@ -35,68 +34,74 @@ std::size_t DistillationFAT::arch_for_mem(std::int64_t avail_mem_bytes) const {
   return best;
 }
 
-void DistillationFAT::run_round(std::int64_t t) {
-  const auto rc = sample_round();
-  LocalAtConfig at;
-  at.epsilon = cfg_.epsilon0;
-  at.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
-  at.adversarial = cfg2_.adversarial;
-  nn::SgdConfig sgd = cfg_.sgd;
-  sgd.lr = lr_at(t);
+void DistillationFAT::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  at_ = LocalAtConfig{};
+  at_.epsilon = cfg_.epsilon0;
+  at_.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
+  at_.adversarial = cfg2_.adversarial;
+  round_sgd_ = cfg_.sgd;
+  if (!tasks.empty()) round_sgd_.lr = tasks.front().lr;
 
-  std::vector<fed::BlobAverager> per_arch(prototypes_.size());
-  std::vector<nn::ParamBlob> globals;
-  globals.reserve(prototypes_.size());
-  for (auto& p : prototypes_) globals.push_back(p->save_all());
-
-  // Each client trains a private replica of its architecture's prototype, so
-  // same-arch clients can run concurrently; uploads are averaged below in
-  // client order.
-  std::vector<std::size_t> archs(rc.ids.size());
-  for (std::size_t i = 0; i < rc.ids.size(); ++i)
-    archs[i] = rc.devices.empty() ? prototypes_.size() - 1
-                                  : arch_for_mem(rc.devices[i].avail_mem_bytes);
-  std::vector<nn::ParamBlob> uploads(rc.ids.size());
-  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
-    const auto i = static_cast<std::size_t>(ti);
-    const std::size_t k = rc.ids[i];
-    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
-    models::BuiltModel local(cfg2_.family[archs[i]], build_rng);
-    local.load_all(globals[archs[i]]);
-    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-                local.gradients_range(0, local.num_atoms()), sgd);
-    auto& batches = clients_.batches(k, cfg_.batch_size);
-    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
-    uploads[i] = local.save_all();
-  });
-
-  std::vector<fed::ClientWork> work;
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    const std::size_t arch = archs[i];
-    per_arch[arch].add(uploads[i], env_->weights[rc.ids[i]]);
-
-    fed::ClientWork w;
-    w.atom_begin = 0;
-    w.atom_end = env_->cost_spec.atoms.size();
-    w.with_aux = false;
-    w.pgd_steps = at.pgd_steps;
-    const double scale = static_cast<double>(family_mem_[arch]) /
-                         static_cast<double>(family_mem_.back());
-    w.mem_scale = scale;          // the chosen model fits: no swap
-    w.flops_scale = scale;        // smaller model, proportionally less compute
-    work.push_back(w);
+  // The snapshots survive across dispatch groups until finalize_round
+  // changes the prototypes (async dropout/straggler refills reuse them).
+  if (broadcast_.empty()) {
+    broadcast_.reserve(prototypes_.size());
+    for (auto& p : prototypes_) broadcast_.push_back(p->save_all());
   }
+
+  // Each client trains the largest architecture its memory affords.
+  archs_.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    archs_[i] = tasks[i].has_device
+                    ? arch_for_mem(tasks[i].device.avail_mem_bytes)
+                    : prototypes_.size() - 1;
+}
+
+fed::Upload DistillationFAT::train_client(const fed::TaskSpec& task) {
+  const std::size_t arch = archs_[task.slot];
+  Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+  models::BuiltModel local(cfg2_.family[arch], build_rng);
+  local.load_all(broadcast_[arch]);
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
+
+  fed::Upload up;
+  up.weight = task.weight;
+  up.work.atom_begin = 0;
+  up.work.atom_end = env_->cost_spec.atoms.size();
+  up.work.with_aux = false;
+  up.work.pgd_steps = at_.pgd_steps;
+  const double scale = static_cast<double>(family_mem_[arch]) /
+                       static_cast<double>(family_mem_.back());
+  up.work.mem_scale = scale;    // the chosen model fits: no swap
+  up.work.flops_scale = scale;  // smaller model, proportionally less compute
+  up.payload = Payload{arch, local.save_all()};
+  return up;
+}
+
+void DistillationFAT::apply_update(const fed::TaskSpec& /*task*/,
+                                   fed::Upload&& up, fed::ApplyMode mode,
+                                   float mix) {
+  auto& p = std::any_cast<Payload&>(up.payload);
+  if (mode == fed::ApplyMode::kBlend) {
+    per_arch_[p.arch].add(prototypes_[p.arch]->save_all(), 1.0f - mix);
+    per_arch_[p.arch].add(p.blob, mix);
+  } else {
+    per_arch_[p.arch].add(p.blob, up.weight);
+  }
+}
+
+void DistillationFAT::finalize_round(std::int64_t t) {
   for (std::size_t a = 0; a < prototypes_.size(); ++a) {
-    if (!per_arch[a].empty())
-      prototypes_[a]->load_all(per_arch[a].average());
-    else
-      prototypes_[a]->load_all(globals[a]);
+    if (per_arch_[a].empty()) continue;  // untouched prototypes keep values
+    prototypes_[a]->load_all(per_arch_[a].average());
+    per_arch_[a].reset();
   }
-  distill(t);
-  if (!rc.devices.empty())
-    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
-                                          env_->cost_cfg, cfg_.local_iters));
+  distill(t);  // updates every student prototype
+  broadcast_.clear();
 }
 
 void DistillationFAT::distill(std::int64_t t) {

@@ -10,6 +10,7 @@
 // (simplified from the paper's diversity/variance weighting; DESIGN.md §5).
 #pragma once
 
+#include "baselines/local_at.hpp"
 #include "fed/algorithm.hpp"
 #include "fed/client_pool.hpp"
 
@@ -35,13 +36,27 @@ class DistillationFAT final : public fed::FederatedAlgorithm {
   }
   /// The deployed model is the largest prototype.
   models::BuiltModel& global_model() override { return *prototypes_.back(); }
-  void run_round(std::int64_t t) override;
 
   /// Largest family index whose full-training memory fits the budget.
   std::size_t arch_for_mem(std::int64_t avail_mem_bytes) const;
 
  private:
+  // RoundEngine hooks: each client trains the largest family architecture
+  // that fits its memory; uploads FedAvg per architecture, then ensemble
+  // distillation fuses knowledge across prototypes.
+  void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
+  fed::Upload train_client(const fed::TaskSpec& task) override;
+  void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
+                    fed::ApplyMode mode, float mix) override;
+  void finalize_round(std::int64_t t) override;
+
   void distill(std::int64_t t);
+
+  /// Wire payload: which prototype the blob belongs to.
+  struct Payload {
+    std::size_t arch = 0;
+    nn::ParamBlob blob;
+  };
 
   Rng init_rng_;
   DistillationConfig cfg2_;
@@ -50,6 +65,13 @@ class DistillationFAT final : public fed::FederatedAlgorithm {
   fed::ClientPool clients_;
   Rng public_rng_;
   std::optional<data::BatchIterator> public_batches_;
+
+  // Dispatch/aggregation state owned by the engine pipeline.
+  std::vector<nn::ParamBlob> broadcast_;  ///< one snapshot per prototype
+  std::vector<std::size_t> archs_;        ///< per-slot architecture choice
+  LocalAtConfig at_;
+  nn::SgdConfig round_sgd_;
+  std::vector<fed::BlobAverager> per_arch_;
 };
 
 }  // namespace fp::baselines

@@ -1,8 +1,5 @@
 #include "baselines/fedrbn.hpp"
 
-#include "baselines/local_at.hpp"
-#include "core/parallel.hpp"
-
 namespace fp::baselines {
 
 FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
@@ -15,64 +12,70 @@ FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
           false)),
       clients_(env, cfg.fl.seed) {}
 
-void FedRbn::run_round(std::int64_t t) {
-  const auto rc = sample_round();
-  const nn::ParamBlob global = model_.save_all();
-  nn::SgdConfig sgd = cfg_.sgd;
-  sgd.lr = lr_at(t);
+void FedRbn::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  // The snapshot survives across dispatch groups until finalize_round
+  // changes the model (async dropout/straggler refills reuse it).
+  if (broadcast_.empty()) broadcast_ = model_.save_all();
+  round_sgd_ = cfg_.sgd;
+  if (!tasks.empty()) round_sgd_.lr = tasks.front().lr;
 
   // Per-client adversarial eligibility is a pure function of the sampled
   // devices; compute it up front so the counters stay in client order.
-  std::vector<char> can_at(rc.ids.size());
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    can_at[i] = rc.devices.empty() ||
-                static_cast<double>(rc.devices[i].avail_mem_bytes) *
-                        cfg2_.device_mem_scale >=
-                    static_cast<double>(full_mem_bytes_);
+  can_at_.assign(tasks.size(), 1);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    can_at_[i] = !tasks[i].has_device ||
+                 static_cast<double>(tasks[i].device.avail_mem_bytes) *
+                         cfg2_.device_mem_scale >=
+                     static_cast<double>(full_mem_bytes_);
     ++selections_;
-    at_selections_ += can_at[i];
+    at_selections_ += can_at_[i];
   }
+}
 
-  // Clients train concurrently on private replicas (dual-BN banks travel in
-  // the blob); uploads are averaged below in client order.
-  std::vector<nn::ParamBlob> uploads(rc.ids.size());
-  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
-    const auto i = static_cast<std::size_t>(ti);
-    const std::size_t k = rc.ids[i];
-    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
-    models::BuiltModel local(model_.spec(), build_rng);
-    local.load_all(global);
-    LocalAtConfig at;
-    at.epsilon = cfg_.epsilon0;
-    at.pgd_steps = can_at[i] ? cfg_.pgd_steps : 0;
-    at.adversarial = can_at[i];
-    at.dual_bn = can_at[i];
-    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-                local.gradients_range(0, local.num_atoms()), sgd);
-    auto& batches = clients_.batches(k, cfg_.batch_size);
-    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
-    uploads[i] = local.save_all();
-  });
+fed::Upload FedRbn::train_client(const fed::TaskSpec& task) {
+  const bool can_at = can_at_[task.slot] != 0;
+  Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+  models::BuiltModel local(model_.spec(), build_rng);
+  local.load_all(broadcast_);
+  LocalAtConfig at;
+  at.epsilon = cfg_.epsilon0;
+  at.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+  at.adversarial = can_at;
+  at.dual_bn = can_at;
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at, clients_.rng(task.client));
 
-  fed::BlobAverager averager;
-  std::vector<fed::ClientWork> work;
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    averager.add(uploads[i], env_->weights[rc.ids[i]]);
+  fed::Upload up;
+  up.weight = task.weight;
+  up.work.atom_begin = 0;
+  up.work.atom_end = env_->cost_spec.atoms.size();
+  up.work.with_aux = false;
+  // Standard training on memory-poor clients: 1 forward + 1 backward and
+  // the model may still need swapping if even ST exceeds memory.
+  up.work.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+  up.payload = local.save_all();
+  return up;
+}
 
-    fed::ClientWork w;
-    w.atom_begin = 0;
-    w.atom_end = env_->cost_spec.atoms.size();
-    w.with_aux = false;
-    // Standard training on memory-poor clients: 1 forward + 1 backward and
-    // the model may still need swapping if even ST exceeds memory.
-    w.pgd_steps = can_at[i] ? cfg_.pgd_steps : 0;
-    work.push_back(w);
+void FedRbn::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
+                          fed::ApplyMode mode, float mix) {
+  auto& blob = std::any_cast<nn::ParamBlob&>(up.payload);
+  if (mode == fed::ApplyMode::kBlend) {
+    averager_.add(model_.save_all(), 1.0f - mix);
+    averager_.add(blob, mix);
+  } else {
+    averager_.add(blob, up.weight);
   }
-  model_.load_all(averager.average());
-  if (!rc.devices.empty())
-    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
-                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+void FedRbn::finalize_round(std::int64_t /*t*/) {
+  if (averager_.empty()) return;
+  model_.load_all(averager_.average());
+  averager_.reset();
+  broadcast_.clear();  // model changed: next dispatch re-snapshots
 }
 
 fed::RoundRecord FedRbn::evaluate_snapshot(std::int64_t round,

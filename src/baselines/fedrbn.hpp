@@ -10,6 +10,7 @@
 // robustness collapses — the signature the paper reports in Table 2.
 #pragma once
 
+#include "baselines/local_at.hpp"
 #include "fed/algorithm.hpp"
 #include "fed/client_pool.hpp"
 
@@ -27,7 +28,6 @@ class FedRbn final : public fed::FederatedAlgorithm {
 
   std::string name() const override { return "FedRBN"; }
   models::BuiltModel& global_model() override { return model_; }
-  void run_round(std::int64_t t) override;
 
   /// Selects the BN bank for evaluation (bank 1 = adversarial).
   void use_adv_bank(bool adv) { model_.use_bn_bank(adv ? 1 : 0); }
@@ -45,12 +45,26 @@ class FedRbn final : public fed::FederatedAlgorithm {
   }
 
  private:
+  // RoundEngine hooks: dual-BN AT on memory-rich clients, standard training
+  // on the rest; FedAvg over full blobs (both statistic banks travel).
+  void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
+  fed::Upload train_client(const fed::TaskSpec& task) override;
+  void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
+                    fed::ApplyMode mode, float mix) override;
+  void finalize_round(std::int64_t t) override;
+
   Rng init_rng_;
   FedRbnConfig cfg2_;
   models::BuiltModel model_;
   std::int64_t full_mem_bytes_;
   fed::ClientPool clients_;
   std::int64_t selections_ = 0, at_selections_ = 0;
+
+  // Dispatch/aggregation state owned by the engine pipeline.
+  nn::ParamBlob broadcast_;
+  nn::SgdConfig round_sgd_;
+  std::vector<char> can_at_;  ///< per-slot adversarial eligibility
+  fed::BlobAverager averager_;
 };
 
 }  // namespace fp::baselines

@@ -1,7 +1,5 @@
 #include "baselines/jfat.hpp"
 
-#include "core/parallel.hpp"
-
 namespace fp::baselines {
 
 JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
@@ -11,52 +9,54 @@ JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
       adversarial_(cfg.adversarial),
       clients_(env, cfg.fl.seed) {}
 
-void JFat::run_round(std::int64_t t) {
-  const auto rc = sample_round();
-  const nn::ParamBlob global = model_.save_all();
+void JFat::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  // The snapshot survives across dispatch groups until finalize_round
+  // changes the model (async dropout/straggler refills reuse it).
+  if (broadcast_.empty()) broadcast_ = model_.save_all();
+  at_ = LocalAtConfig{};
+  at_.epsilon = cfg_.epsilon0;
+  at_.pgd_steps = adversarial_ ? cfg_.pgd_steps : 0;
+  at_.adversarial = adversarial_;
+  round_sgd_ = cfg_.sgd;
+  if (!tasks.empty()) round_sgd_.lr = tasks.front().lr;
+}
 
-  LocalAtConfig at;
-  at.epsilon = cfg_.epsilon0;
-  at.pgd_steps = adversarial_ ? cfg_.pgd_steps : 0;
-  at.adversarial = adversarial_;
-  nn::SgdConfig sgd = cfg_.sgd;
-  sgd.lr = lr_at(t);
+fed::Upload JFat::train_client(const fed::TaskSpec& task) {
+  Rng build_rng(0);  // replica init is overwritten by the broadcast blob
+  models::BuiltModel local(model_.spec(), build_rng);
+  local.load_all(broadcast_);
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
 
-  // Clients train concurrently on private replicas of the broadcast model;
-  // each task touches only its own client's RNG/batch state. Uploads are
-  // averaged below in client order, so rounds are bit-identical for any
-  // FP_NUM_THREADS.
-  std::vector<nn::ParamBlob> uploads(rc.ids.size());
-  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
-    const auto i = static_cast<std::size_t>(ti);
-    const std::size_t k = rc.ids[i];
-    Rng build_rng(0);  // replica init is overwritten by the broadcast blob
-    models::BuiltModel local(model_.spec(), build_rng);
-    local.load_all(global);
-    nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-                local.gradients_range(0, local.num_atoms()), sgd);
-    auto& batches = clients_.batches(k, cfg_.batch_size);
-    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(local, opt, batches.next(), at, clients_.rng(k));
-    uploads[i] = local.save_all();
-  });
+  fed::Upload up;
+  up.weight = task.weight;
+  up.work.atom_begin = 0;
+  up.work.atom_end = env_->cost_spec.atoms.size();
+  up.work.with_aux = false;
+  up.work.pgd_steps = at_.pgd_steps;
+  up.payload = local.save_all();
+  return up;
+}
 
-  fed::BlobAverager averager;
-  std::vector<fed::ClientWork> work;
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    averager.add(uploads[i], env_->weights[rc.ids[i]]);
-
-    fed::ClientWork w;
-    w.atom_begin = 0;
-    w.atom_end = env_->cost_spec.atoms.size();
-    w.with_aux = false;
-    w.pgd_steps = at.pgd_steps;
-    work.push_back(w);
+void JFat::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
+                        fed::ApplyMode mode, float mix) {
+  auto& blob = std::any_cast<nn::ParamBlob&>(up.payload);
+  if (mode == fed::ApplyMode::kBlend) {
+    averager_.add(model_.save_all(), 1.0f - mix);
+    averager_.add(blob, mix);
+  } else {
+    averager_.add(blob, up.weight);
   }
-  model_.load_all(averager.average());
-  if (!rc.devices.empty())
-    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
-                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+void JFat::finalize_round(std::int64_t /*t*/) {
+  if (averager_.empty()) return;
+  model_.load_all(averager_.average());
+  averager_.reset();
+  broadcast_.clear();  // model changed: next dispatch re-snapshots
 }
 
 }  // namespace fp::baselines

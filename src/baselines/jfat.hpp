@@ -22,13 +22,26 @@ class JFat final : public fed::FederatedAlgorithm {
 
   std::string name() const override { return adversarial_ ? "jFAT" : "FedAvg"; }
   models::BuiltModel& global_model() override { return model_; }
-  void run_round(std::int64_t t) override;
 
  private:
+  // RoundEngine hooks: broadcast the full model, adversarially train it end
+  // to end on each client, FedAvg the uploaded blobs.
+  void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
+  fed::Upload train_client(const fed::TaskSpec& task) override;
+  void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
+                    fed::ApplyMode mode, float mix) override;
+  void finalize_round(std::int64_t t) override;
+
   Rng init_rng_;  ///< seeds weight init (deterministic per cfg.fl.seed)
   models::BuiltModel model_;
   bool adversarial_;
   fed::ClientPool clients_;
+
+  // Dispatch/aggregation state owned by the engine pipeline.
+  nn::ParamBlob broadcast_;
+  LocalAtConfig at_;
+  nn::SgdConfig round_sgd_;
+  fed::BlobAverager averager_;
 };
 
 }  // namespace fp::baselines

@@ -1,10 +1,6 @@
 #include "baselines/partial_training.hpp"
 
 #include <algorithm>
-#include <memory>
-
-#include "baselines/local_at.hpp"
-#include "core/parallel.hpp"
 
 namespace fp::baselines {
 
@@ -16,7 +12,10 @@ PartialTrainingFAT::PartialTrainingFAT(fed::FedEnv& env, PartialTrainingConfig c
       full_mem_bytes_(sys::module_train_mem_bytes(
           cfg.model_spec, 0, cfg.model_spec.atoms.size(), cfg.fl.batch_size,
           /*with_aux_head=*/false)),
-      clients_(env, cfg.fl.seed) {}
+      clients_(env, cfg.fl.seed),
+      acc_(model_) {
+  acc_.reset();
+}
 
 std::string PartialTrainingFAT::name() const {
   switch (cfg2_.scheme) {
@@ -34,69 +33,81 @@ double PartialTrainingFAT::ratio_for_mem(std::int64_t avail_mem_bytes) const {
   return std::clamp(r, cfg2_.min_ratio, 1.0);
 }
 
-void PartialTrainingFAT::run_round(std::int64_t t) {
-  const auto rc = sample_round();
-  fed::PartialAccumulator acc(model_);
-  acc.reset();
-
-  LocalAtConfig at;
-  at.epsilon = cfg_.epsilon0;
-  at.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
-  at.adversarial = cfg2_.adversarial;
-  nn::SgdConfig sgd = cfg_.sgd;
-  sgd.lr = lr_at(t);
+void PartialTrainingFAT::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  at_ = LocalAtConfig{};
+  at_.epsilon = cfg_.epsilon0;
+  at_.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
+  at_.adversarial = cfg2_.adversarial;
+  round_sgd_ = cfg_.sgd;
+  if (!tasks.empty()) round_sgd_.lr = tasks.front().lr;
 
   // Slice plans consume the shared per-round RNG, so draw them sequentially
-  // in client order before fanning the training out.
-  Rng slice_rng(cfg_.seed + 31 * static_cast<std::uint64_t>(t));
-  std::vector<double> ratios(rc.ids.size());
-  std::vector<models::SlicePlan> plans;
-  plans.reserve(rc.ids.size());
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    ratios[i] = rc.devices.empty() ? 1.0
-                                   : ratio_for_mem(rc.devices[i].avail_mem_bytes);
-    plans.push_back(models::make_slice_plan(model_.spec(), ratios[i],
-                                            cfg2_.scheme, t, slice_rng));
+  // in slot order before the training fans out. The stream is reseeded once
+  // per round and persists across dispatch groups of the same round, so
+  // async single-client refills keep drawing fresh random masks instead of
+  // repeating the round's first one.
+  const std::int64_t t = tasks.empty() ? 0 : tasks.front().round;
+  if (t != slice_rng_round_) {
+    slice_rng_ = Rng(cfg_.seed + 31 * static_cast<std::uint64_t>(t));
+    slice_rng_round_ = t;
   }
+  ratios_.resize(tasks.size());
+  plans_.clear();
+  plans_.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ratios_[i] = tasks[i].has_device
+                     ? ratio_for_mem(tasks[i].device.avail_mem_bytes)
+                     : 1.0;
+    plans_.push_back(models::make_slice_plan(model_.spec(), ratios_[i],
+                                             cfg2_.scheme, t, slice_rng_));
+  }
+}
 
-  // Clients train their sliced sub-models concurrently; gather_weights only
-  // reads the global model. Scatter-accumulation happens below in client
-  // order, so rounds are bit-identical for any FP_NUM_THREADS.
-  std::vector<std::unique_ptr<models::BuiltModel>> trained(rc.ids.size());
-  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
-    const auto i = static_cast<std::size_t>(ti);
-    const std::size_t k = rc.ids[i];
-    Rng build_rng(cfg_.seed + 77 * static_cast<std::uint64_t>(t) + k);
-    auto sliced =
-        std::make_unique<models::BuiltModel>(plans[i].sliced_spec, build_rng);
-    models::gather_weights(model_.spec(), plans[i], model_, *sliced);
+fed::Upload PartialTrainingFAT::train_client(const fed::TaskSpec& task) {
+  Rng build_rng(cfg_.seed + 77 * static_cast<std::uint64_t>(task.round) +
+                task.client);
+  auto sliced = std::make_shared<models::BuiltModel>(
+      plans_[task.slot].sliced_spec, build_rng);
+  models::gather_weights(model_.spec(), plans_[task.slot], model_, *sliced);
 
-    nn::Sgd opt(sliced->parameters_range(0, sliced->num_atoms()),
-                sliced->gradients_range(0, sliced->num_atoms()), sgd);
-    auto& batches = clients_.batches(k, cfg_.batch_size);
-    for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-      at_train_batch(*sliced, opt, batches.next(), at, clients_.rng(k));
-    trained[i] = std::move(sliced);
-  });
+  nn::Sgd opt(sliced->parameters_range(0, sliced->num_atoms()),
+              sliced->gradients_range(0, sliced->num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(*sliced, opt, batches.next(), at_, clients_.rng(task.client));
 
-  std::vector<fed::ClientWork> work;
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
+  fed::Upload up;
+  up.weight = task.weight;
+  up.work.atom_begin = 0;
+  up.work.atom_end = env_->cost_spec.atoms.size();
+  up.work.with_aux = false;
+  up.work.pgd_steps = at_.pgd_steps;
+  up.work.mem_scale = ratios_[task.slot];  // sub-model fits: no swapping
+  up.work.flops_scale = ratios_[task.slot] * ratios_[task.slot];
+  up.payload = Payload{plans_[task.slot], std::move(sliced)};
+  return up;
+}
+
+void PartialTrainingFAT::apply_update(const fed::TaskSpec& /*task*/,
+                                      fed::Upload&& up, fed::ApplyMode mode,
+                                      float mix) {
+  auto& p = std::any_cast<Payload&>(up.payload);
+  if (mode == fed::ApplyMode::kBlend) {
+    // Elements inside the slice land as (1-mix)*old + mix*new; elements the
+    // client never trained cancel to their previous value on finalize.
+    for (std::size_t a = 0; a < model_.num_atoms(); ++a) {
+      acc_.add_dense_atom(model_, a, 1.0f - mix);
+      acc_.add_sliced_atom(p.plan, *p.trained, a, mix);
+    }
+  } else {
     for (std::size_t a = 0; a < model_.num_atoms(); ++a)
-      acc.add_sliced_atom(plans[i], *trained[i], a, env_->weights[rc.ids[i]]);
-
-    fed::ClientWork w;
-    w.atom_begin = 0;
-    w.atom_end = env_->cost_spec.atoms.size();
-    w.with_aux = false;
-    w.pgd_steps = at.pgd_steps;
-    w.mem_scale = ratios[i];      // sub-model fits: no swapping
-    w.flops_scale = ratios[i] * ratios[i];
-    work.push_back(w);
+      acc_.add_sliced_atom(p.plan, *p.trained, a, up.weight);
   }
-  acc.finalize_into(model_);
-  if (!rc.devices.empty())
-    add_sim_time(fed::simulate_round_time(env_->cost_spec, rc.devices, work,
-                                          env_->cost_cfg, cfg_.local_iters));
+}
+
+void PartialTrainingFAT::finalize_round(std::int64_t /*t*/) {
+  acc_.finalize_into(model_);
+  acc_.reset();
 }
 
 }  // namespace fp::baselines

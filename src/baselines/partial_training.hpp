@@ -4,6 +4,9 @@
 // memory; the server partial-averages sub-models into the global network.
 #pragma once
 
+#include <memory>
+
+#include "baselines/local_at.hpp"
 #include "fed/algorithm.hpp"
 #include "fed/client_pool.hpp"
 #include "models/slicing.hpp"
@@ -27,18 +30,43 @@ class PartialTrainingFAT final : public fed::FederatedAlgorithm {
 
   std::string name() const override;
   models::BuiltModel& global_model() override { return model_; }
-  void run_round(std::int64_t t) override;
 
   /// Width ratio a device budget affords (memory scales ~ratio for the
   /// activation-dominated regime): ratio = min(1, R_k / R_full).
   double ratio_for_mem(std::int64_t avail_mem_bytes) const;
 
  private:
+  // RoundEngine hooks: slice plans are drawn sequentially in slot order at
+  // dispatch (they consume a shared per-round RNG); each client trains its
+  // sliced sub-model; uploads scatter-accumulate into the global network.
+  void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
+  fed::Upload train_client(const fed::TaskSpec& task) override;
+  void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
+                    fed::ApplyMode mode, float mix) override;
+  void finalize_round(std::int64_t t) override;
+
+  /// Wire payload: the trained sub-model plus the plan that extracted it
+  /// (travels with the upload — dispatch state may be reused before an async
+  /// update lands).
+  struct Payload {
+    models::SlicePlan plan;
+    std::shared_ptr<models::BuiltModel> trained;
+  };
+
   Rng init_rng_;
   PartialTrainingConfig cfg2_;
   models::BuiltModel model_;
   std::int64_t full_mem_bytes_;
   fed::ClientPool clients_;
+
+  // Dispatch/aggregation state owned by the engine pipeline.
+  std::vector<double> ratios_;             ///< per-slot width ratio
+  std::vector<models::SlicePlan> plans_;   ///< per-slot slice plan
+  Rng slice_rng_{0};                       ///< per-round shared plan stream
+  std::int64_t slice_rng_round_ = -1;
+  LocalAtConfig at_;
+  nn::SgdConfig round_sgd_;
+  fed::PartialAccumulator acc_;
 };
 
 }  // namespace fp::baselines

@@ -2,6 +2,20 @@
 
 namespace fp::fed {
 
+FederatedAlgorithm::FederatedAlgorithm(FedEnv& env, FlConfig cfg)
+    : env_(&env), cfg_(cfg), engine_(std::make_unique<RoundEngine>(env, cfg_)) {}
+
+FederatedAlgorithm::~FederatedAlgorithm() = default;
+
+void FederatedAlgorithm::run_round(std::int64_t t) {
+  last_stats_ = engine_->run_round(*this, t);
+  add_sim_time(last_stats_.time);  // running total lives in sim_time_
+  total_stats_.dispatched += last_stats_.dispatched;
+  total_stats_.applied += last_stats_.applied;
+  total_stats_.dropped_stragglers += last_stats_.dropped_stragglers;
+  total_stats_.dropped_out += last_stats_.dropped_out;
+}
+
 void FederatedAlgorithm::run(std::int64_t eval_every) {
   for (std::int64_t t = 0; t < cfg_.rounds; ++t) {
     run_round(t);
@@ -26,14 +40,6 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   rec.adv_acc = attack::evaluate_pgd(global_model(), env_->test, ecfg);
   rec.sim_time_s = sim_time_.total();
   return rec;
-}
-
-FederatedAlgorithm::RoundClients FederatedAlgorithm::sample_round() {
-  RoundClients rc;
-  rc.ids = sampler_.sample(cfg_.clients_per_round);
-  if (env_->devices)
-    rc.devices = env_->devices->sample_n(rc.ids.size());
-  return rc;
 }
 
 }  // namespace fp::fed

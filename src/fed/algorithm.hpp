@@ -1,7 +1,11 @@
 // Base class for federated training algorithms (jFAT, the memory-efficient
-// baselines, and FedProphet). Provides the round loop scaffolding, learning-
-// rate schedule, client sampling, simulated-time accumulation, and periodic
-// global evaluation; subclasses implement run_round().
+// baselines, and FedProphet). An algorithm IS a RoundMethod: it implements
+// the ClientTaskFactory / UpdateApplier hooks of fed/runtime/engine.hpp, and
+// the shared RoundEngine executes the sample -> dispatch -> train -> upload
+// -> aggregate -> simulated-time pipeline under the configured scheduler
+// (synchronous barrier rounds or async event-driven aggregation). This class
+// also provides the learning-rate schedule, history bookkeeping, and the
+// periodic global evaluation used by run().
 #pragma once
 
 #include <memory>
@@ -10,26 +14,23 @@
 #include "attack/evaluate.hpp"
 #include "fed/aggregator.hpp"
 #include "fed/env.hpp"
-#include "fed/sampler.hpp"
+#include "fed/runtime/engine.hpp"
 
 namespace fp::fed {
 
-class FederatedAlgorithm {
+class FederatedAlgorithm : public RoundMethod {
  public:
-  FederatedAlgorithm(FedEnv& env, FlConfig cfg)
-      : env_(&env),
-        cfg_(cfg),
-        sampler_(env.num_clients(), cfg.seed + 11),
-        local_rng_(cfg.seed + 13) {}
-  virtual ~FederatedAlgorithm() = default;
+  FederatedAlgorithm(FedEnv& env, FlConfig cfg);
+  ~FederatedAlgorithm() override;
 
   virtual std::string name() const = 0;
 
   /// The model the server would deploy (used by the evaluation harness).
   virtual models::BuiltModel& global_model() = 0;
 
-  /// One communication round at index t.
-  virtual void run_round(std::int64_t t) = 0;
+  /// One engine round at server index t: a barrier round under the sync
+  /// scheduler, one aggregation event under the async scheduler.
+  void run_round(std::int64_t t);
 
   /// Full training: cfg.rounds rounds, evaluating every `eval_every` rounds
   /// (0 = only at the end).
@@ -37,6 +38,11 @@ class FederatedAlgorithm {
 
   const History& history() const { return history_; }
   const TimeBreakdown& sim_time() const { return sim_time_; }
+  RoundEngine& engine() { return *engine_; }
+  const RoundStats& last_round_stats() const { return last_stats_; }
+  /// Dispatch/apply/drop counters accumulated over every round so far
+  /// (time stays zero here — the running clock is sim_time()).
+  const RoundStats& total_stats() const { return total_stats_; }
 
   /// Clean + PGD accuracy snapshot of the global model on the test set.
   virtual RoundRecord evaluate_snapshot(std::int64_t round,
@@ -44,26 +50,20 @@ class FederatedAlgorithm {
                                         int pgd_steps = 10);
 
  protected:
-  float lr_at(std::int64_t t) const {
-    return cfg_.lr0 * std::pow(cfg_.lr_decay, static_cast<float>(t));
-  }
-
-  /// Samples the round's participants and (if a device pool exists) their
-  /// real-time device availability.
-  struct RoundClients {
-    std::vector<std::size_t> ids;
-    std::vector<sys::DeviceInstance> devices;
-  };
-  RoundClients sample_round();
+  /// Single source of the schedule: the engine's lr_at also fills TaskSpec.lr.
+  float lr_at(std::int64_t t) const { return engine_->lr_at(t); }
 
   void add_sim_time(const TimeBreakdown& t) { sim_time_ += t; }
 
   FedEnv* env_;
   FlConfig cfg_;
-  ClientSampler sampler_;
-  Rng local_rng_;
   History history_;
   TimeBreakdown sim_time_;
+  RoundStats last_stats_;
+  RoundStats total_stats_;
+
+ private:
+  std::unique_ptr<RoundEngine> engine_;
 };
 
 }  // namespace fp::fed

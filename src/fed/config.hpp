@@ -10,6 +10,31 @@
 
 namespace fp::fed {
 
+/// Which RoundScheduler drives the engine (DESIGN.md §4).
+enum class SchedulerKind {
+  kSync,   ///< barrier rounds, bit-identical to the historical loops
+  kAsync,  ///< event-driven FedAsync-style replay of device latencies
+};
+
+/// Event-driven scheduling knobs (only read when scheduler == kAsync).
+struct AsyncConfig {
+  /// Concurrently in-flight clients (0 = clients_per_round).
+  std::int64_t concurrency = 0;
+  /// FedAsync base mixing rate: an update with staleness s lands with
+  /// coefficient alpha / (s + 1).
+  double alpha = 0.6;
+  /// Updates slower than this many simulated seconds are discarded and the
+  /// slot is refilled (0 = wait forever, i.e. no straggler cutoff).
+  double straggler_cutoff_s = 0.0;
+  /// Probability that a dispatched client vanishes and never uploads.
+  double dropout_prob = 0.0;
+  /// Additionally scale the mixing coefficient by q_k * N (relative data
+  /// size), so data-rich clients move the global model proportionally more.
+  bool scale_by_data = true;
+  /// Floor on the applied mixing coefficient (very stale updates still nudge).
+  double min_mix = 1e-3;
+};
+
 struct FlConfig {
   std::int64_t num_clients = 20;        ///< N (paper: 100)
   std::int64_t clients_per_round = 5;   ///< C (paper: 10)
@@ -22,6 +47,8 @@ struct FlConfig {
   int pgd_steps = 7;                    ///< PGD-n adversarial training (paper: 10)
   float epsilon0 = 8.0f / 255.0f;       ///< input perturbation bound (§7.1)
   std::uint64_t seed = 123;
+  SchedulerKind scheduler = SchedulerKind::kSync;
+  AsyncConfig async;
 };
 
 /// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).

@@ -32,7 +32,36 @@ FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
   const auto& pool = cfg.cifar_pool ? sys::cifar_device_pool()
                                     : sys::caltech_device_pool();
   env.devices.emplace(pool, cfg.heterogeneity, cfg.fl.seed + 2);
+  if (cfg.persistent_devices) {
+    // Paper fleet setup: client k owns one physical device for the whole
+    // experiment; only real-time availability varies round to round. A
+    // dedicated stream keeps the per-round degradation draws unperturbed.
+    Rng bind_rng(cfg.fl.seed + 3);
+    env.device_of_client.reserve(env.shards.size());
+    for (std::size_t k = 0; k < env.shards.size(); ++k)
+      env.device_of_client.push_back(env.devices->draw_pool_index(bind_rng));
+  }
   return env;
+}
+
+TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
+                              const sys::DeviceInstance& device,
+                              const ClientWork& work,
+                              const sys::TrainCostConfig& base_cfg,
+                              std::int64_t local_iters) {
+  sys::TrainCostConfig cfg = base_cfg;
+  cfg.pgd_steps = work.pgd_steps;
+  cfg.mem_scale = work.mem_scale;
+  cfg.flops_scale = work.flops_scale;
+  const sys::StepCost cost =
+      sys::train_step_cost(spec, work.atom_begin, work.atom_end, work.with_aux,
+                           cfg, device.avail_mem_bytes);
+  const sys::StepTime t =
+      sys::step_time(cost, device.avail_flops, device.io_bytes_per_s, cfg);
+  TimeBreakdown out;
+  out.compute_s = static_cast<double>(local_iters) * t.compute_s;
+  out.access_s = static_cast<double>(local_iters) * t.access_s;
+  return out;
 }
 
 TimeBreakdown simulate_round_time(const sys::ModelSpec& spec,
@@ -45,20 +74,11 @@ TimeBreakdown simulate_round_time(const sys::ModelSpec& spec,
   TimeBreakdown slowest;
   double slowest_total = -1.0;
   for (std::size_t k = 0; k < work.size(); ++k) {
-    sys::TrainCostConfig cfg = base_cfg;
-    cfg.pgd_steps = work[k].pgd_steps;
-    cfg.mem_scale = work[k].mem_scale;
-    cfg.flops_scale = work[k].flops_scale;
-    const sys::StepCost cost = sys::train_step_cost(
-        spec, work[k].atom_begin, work[k].atom_end, work[k].with_aux, cfg,
-        devices[k].avail_mem_bytes);
-    const sys::StepTime t =
-        sys::step_time(cost, devices[k].avail_flops, devices[k].io_bytes_per_s, cfg);
-    const double total = static_cast<double>(local_iters) * t.total();
-    if (total > slowest_total) {
-      slowest_total = total;
-      slowest.compute_s = static_cast<double>(local_iters) * t.compute_s;
-      slowest.access_s = static_cast<double>(local_iters) * t.access_s;
+    const TimeBreakdown t =
+        client_sim_time(spec, devices[k], work[k], base_cfg, local_iters);
+    if (t.total() > slowest_total) {
+      slowest_total = t.total();
+      slowest = t;
     }
   }
   return slowest;

@@ -17,6 +17,9 @@ struct FedEnv {
   std::vector<data::Dataset> shards;  ///< one per client
   std::vector<float> weights;         ///< q_k = |D_k| / sum |D_i|
   std::optional<sys::DeviceSampler> devices;
+  /// Persistent fleet binding: pool index of the device client k owns across
+  /// rounds (paper fleet setup). Empty = legacy per-round independent draws.
+  std::vector<std::size_t> device_of_client;
   /// Paper-shape model spec used for the latency/memory simulation (e.g.
   /// VGG16@32x32) — may differ from the trainable model, see DESIGN.md §1.
   sys::ModelSpec cost_spec;
@@ -33,6 +36,10 @@ struct FedEnvConfig {
   double public_fraction = 0.1;
   sys::Heterogeneity heterogeneity = sys::Heterogeneity::kBalanced;
   bool cifar_pool = true;  ///< which device pool (Table 5 vs Table 6)
+  /// Bind each client to one device for the whole experiment (only the
+  /// real-time availability degradation is redrawn per round). Off by
+  /// default to keep historical outputs bit-identical.
+  bool persistent_devices = false;
 };
 
 /// Builds the environment: public split (optional), non-IID partition,
@@ -52,6 +59,14 @@ struct ClientWork {
   /// FLOPs scale (e.g. a width-r sub-model costs about r^2 the MACs).
   double flops_scale = 1.0;
 };
+
+/// One client's simulated train duration: local_iters * per-step time on its
+/// device. The event-time atom of the async scheduler.
+TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
+                              const sys::DeviceInstance& device,
+                              const ClientWork& work,
+                              const sys::TrainCostConfig& base_cfg,
+                              std::int64_t local_iters);
 
 /// Synchronous-round time: max over clients of local_iters * per-step time;
 /// the breakdown is the slowest client's compute/access split.

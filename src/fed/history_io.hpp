@@ -1,0 +1,30 @@
+// History exporters: accuracy / simulated-time trajectories as CSV or JSON,
+// so bench runs can be diffed across commits instead of scraped from stdout.
+#pragma once
+
+#include <string>
+
+#include "fed/config.hpp"
+
+namespace fp::fed {
+
+/// Writes `round,clean_acc,adv_acc,sim_time_s,extra` rows (with a header).
+/// Creates parent directories as needed. Returns false on I/O failure.
+bool write_history_csv(const std::string& path, const History& history);
+
+/// Writes `{"method": ..., "history": [{...}, ...]}`. Returns false on
+/// I/O failure.
+bool write_history_json(const std::string& path, const std::string& method,
+                        const History& history);
+
+/// Replaces everything outside [A-Za-z0-9._-] with '_' (method -> filename).
+std::string sanitize_filename(const std::string& name);
+
+/// When the FP_BENCH_OUT environment variable names a directory, writes
+/// `<FP_BENCH_OUT>/<sanitized method>.csv` (repeat runs of the same method
+/// get a `-2`, `-3`, ... suffix) and returns true; no-op otherwise.
+/// The bench binaries call this for every trained method.
+bool export_history_if_requested(const std::string& method,
+                                 const History& history);
+
+}  // namespace fp::fed

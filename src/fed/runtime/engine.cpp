@@ -1,0 +1,57 @@
+#include "fed/runtime/engine.hpp"
+
+#include "fed/runtime/scheduler.hpp"
+
+namespace fp::fed {
+
+RoundEngine::RoundEngine(FedEnv& env, const FlConfig& cfg)
+    : env_(&env), cfg_(cfg), sampler_(env.num_clients(), cfg.seed + 11) {
+  switch (cfg_.scheduler) {
+    case SchedulerKind::kSync:
+      scheduler_ = std::make_unique<SyncScheduler>();
+      break;
+    case SchedulerKind::kAsync:
+      scheduler_ = std::make_unique<AsyncScheduler>(cfg_.async, cfg_.seed + 17);
+      break;
+  }
+}
+
+RoundEngine::~RoundEngine() = default;
+
+RoundStats RoundEngine::run_round(RoundMethod& m, std::int64_t t) {
+  return scheduler_->run_round(*this, m, t);
+}
+
+std::vector<TaskSpec> RoundEngine::sample_tasks(std::int64_t t,
+                                                std::int64_t count) {
+  const auto ids = sampler_.sample(count);
+  std::vector<TaskSpec> tasks(ids.size());
+  const float lr = lr_at(t);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    tasks[i].round = t;
+    tasks[i].slot = i;
+    tasks[i].client = ids[i];
+    tasks[i].lr = lr;
+    tasks[i].weight = env_->weights[ids[i]];
+  }
+  if (env_->devices) {
+    if (!env_->device_of_client.empty()) {
+      // Persistent fleet: client k keeps its device; only the real-time
+      // availability degradation is redrawn per dispatch.
+      for (auto& task : tasks) {
+        task.device =
+            env_->devices->sample_bound(env_->device_of_client[task.client]);
+        task.has_device = true;
+      }
+    } else {
+      const auto devices = env_->devices->sample_n(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        tasks[i].device = devices[i];
+        tasks[i].has_device = true;
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace fp::fed

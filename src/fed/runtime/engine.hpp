@@ -1,0 +1,146 @@
+// Unified federated round engine.
+//
+// Every method in the repo (FedProphet and the five baselines) used to
+// hand-roll the same synchronous round loop: sample clients -> broadcast ->
+// parallel local training -> client-ordered aggregation -> simulated-time
+// accounting. The engine owns that pipeline once, and a method only states
+//  * WHAT each sampled client trains        (ClientTaskFactory), and
+//  * HOW its wire blob lands in the server   (UpdateApplier) — i.e. which
+//    BlobAverager / PartialAccumulator the upload folds into.
+// Scheduling is pluggable (scheduler.hpp): SyncScheduler reproduces the
+// historical barrier semantics bit-for-bit; AsyncScheduler replays per-client
+// device latencies as a deterministic event queue with staleness-decayed
+// aggregation, straggler cutoffs, and client dropout. See DESIGN.md §4.
+#pragma once
+
+#include <any>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "fed/config.hpp"
+#include "fed/env.hpp"
+#include "fed/sampler.hpp"
+
+namespace fp::fed {
+
+/// One unit of client work handed to a method by a scheduler.
+struct TaskSpec {
+  std::int64_t round = 0;    ///< server round at dispatch (= model version)
+  std::size_t slot = 0;      ///< index within the dispatch group
+  std::size_t client = 0;    ///< global client id
+  float lr = 0.0f;           ///< learning rate of the dispatch round
+  float weight = 0.0f;       ///< q_k = |D_k| / sum |D_i|
+  bool has_device = false;   ///< false when the env has no device pool
+  sys::DeviceInstance device;
+};
+
+/// What a finished client hands back to the server: the simulated-cost
+/// accounting plus a method-specific wire payload (parameter blobs, sliced
+/// models, auxiliary heads, ...).
+struct Upload {
+  ClientWork work;
+  float weight = 0.0f;  ///< q_k, echoed from the TaskSpec
+  std::any payload;
+};
+
+/// How an upload folds into the server state.
+enum class ApplyMode {
+  /// Accumulate into the method's averager with weight q_k; the weighted
+  /// mean lands on finalize_round (synchronous barrier rounds).
+  kAccumulate,
+  /// Blend ONE update into the current global state immediately:
+  /// global <- (1 - mix) * global + mix * upload. finalize_round follows
+  /// every kBlend apply (asynchronous aggregation events).
+  kBlend,
+};
+
+/// "What does this client train?" — sequential dispatch-time decisions
+/// (module assignment, slice plans, architecture choice) plus the concurrent
+/// local training itself.
+class ClientTaskFactory {
+ public:
+  virtual ~ClientTaskFactory() = default;
+
+  /// Called once per dispatch group, sequentially, before any training:
+  /// snapshot the server state the group trains from and make per-slot
+  /// decisions that consume shared RNG streams (in slot order).
+  virtual void begin_dispatch(const std::vector<TaskSpec>& tasks) = 0;
+
+  /// Trains one client. May run concurrently with other slots of the same
+  /// dispatch group: must touch only per-client state (RNG stream, batch
+  /// iterator) and task-private replicas of the snapshot.
+  virtual Upload train_client(const TaskSpec& task) = 0;
+};
+
+/// "How does the wire blob land?" — sequential server-side aggregation.
+class UpdateApplier {
+ public:
+  virtual ~UpdateApplier() = default;
+
+  /// Folds one upload into the method's accumulators. Always called on the
+  /// engine thread in a deterministic order (slot order for sync rounds,
+  /// event order for async). `mix` is only meaningful for kBlend.
+  virtual void apply_update(const TaskSpec& task, Upload&& up, ApplyMode mode,
+                            float mix) = 0;
+
+  /// Commits the accumulated updates into the global model(s) and runs any
+  /// per-round server work (distillation, traces). `t` = server round index.
+  virtual void finalize_round(std::int64_t t) = 0;
+};
+
+/// A federated method as seen by the engine.
+class RoundMethod : public ClientTaskFactory, public UpdateApplier {
+ public:
+  /// Model spec the latency simulation prices this method's ClientWork on.
+  /// Baselines use the paper-shape cost spec; FedProphet prices on its
+  /// trainable backbone (its atom ranges index the cascade partition).
+  virtual const sys::ModelSpec& time_spec(const FedEnv& env) const {
+    return env.cost_spec;
+  }
+};
+
+/// What one engine round did (one barrier round, or one async aggregation
+/// event plus any straggler/dropout churn processed on the way).
+struct RoundStats {
+  TimeBreakdown time;  ///< simulated wall-clock advance of this round
+  std::size_t dispatched = 0;
+  std::size_t applied = 0;
+  std::size_t dropped_stragglers = 0;
+  std::size_t dropped_out = 0;
+  double mean_staleness = 0.0;  ///< staleness of the applied update(s)
+};
+
+class RoundScheduler;
+
+/// Owns the sample -> dispatch -> train -> upload -> aggregate -> simulated
+/// time pipeline shared by every federated method.
+class RoundEngine {
+ public:
+  /// Builds the scheduler selected by cfg.scheduler.
+  RoundEngine(FedEnv& env, const FlConfig& cfg);
+  ~RoundEngine();
+
+  /// Runs one engine round of `m` at server round t.
+  RoundStats run_round(RoundMethod& m, std::int64_t t);
+
+  const FlConfig& config() const { return cfg_; }
+  FedEnv& env() { return *env_; }
+
+  float lr_at(std::int64_t t) const {
+    return cfg_.lr0 * std::pow(cfg_.lr_decay, static_cast<float>(t));
+  }
+
+  /// Samples `count` distinct clients for a dispatch at round t, with their
+  /// device availability (persistent per-client binding when the env carries
+  /// one, otherwise a fresh draw per task). Used by schedulers.
+  std::vector<TaskSpec> sample_tasks(std::int64_t t, std::int64_t count);
+
+ private:
+  FedEnv* env_;
+  FlConfig cfg_;
+  ClientSampler sampler_;
+  std::unique_ptr<RoundScheduler> scheduler_;
+};
+
+}  // namespace fp::fed

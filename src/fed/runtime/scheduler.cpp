@@ -1,0 +1,175 @@
+#include "fed/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+
+namespace fp::fed {
+
+// ---- SyncScheduler ----------------------------------------------------------
+
+RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
+                                    std::int64_t t) {
+  auto tasks = eng.sample_tasks(t, eng.config().clients_per_round);
+  m.begin_dispatch(tasks);
+
+  // Per-client local training, one pool task per client. Each task touches
+  // only its own client's state, so results are bit-identical for any
+  // FP_NUM_THREADS (aggregation below runs on this thread in client order).
+  std::vector<Upload> uploads(tasks.size());
+  core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
+                       [&](std::int64_t ti) {
+                         const auto i = static_cast<std::size_t>(ti);
+                         uploads[i] = m.train_client(tasks[i]);
+                       });
+
+  RoundStats st;
+  st.dispatched = st.applied = tasks.size();
+  std::vector<sys::DeviceInstance> devices;
+  std::vector<ClientWork> work;
+  devices.reserve(tasks.size());
+  work.reserve(tasks.size());
+  const bool with_devices = !tasks.empty() && tasks.front().has_device;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (with_devices) {
+      devices.push_back(tasks[i].device);
+      work.push_back(uploads[i].work);
+    }
+    m.apply_update(tasks[i], std::move(uploads[i]), ApplyMode::kAccumulate,
+                   1.0f);
+  }
+  m.finalize_round(t);
+
+  if (with_devices)
+    st.time = simulate_round_time(m.time_spec(eng.env()), devices, work,
+                                  eng.env().cost_cfg, eng.config().local_iters);
+  return st;
+}
+
+// ---- AsyncScheduler ---------------------------------------------------------
+
+AsyncScheduler::AsyncScheduler(const AsyncConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), drop_rng_(seed) {}
+
+void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
+                              std::int64_t count, RoundStats& st) {
+  auto tasks = eng.sample_tasks(t, count);
+
+  // Dropout is decided at dispatch from a dedicated stream, in slot order.
+  std::vector<char> dropped(tasks.size(), 0);
+  if (cfg_.dropout_prob > 0.0)
+    for (auto& d : dropped) d = drop_rng_.uniform() < cfg_.dropout_prob;
+
+  // Training runs at dispatch time against the dispatch snapshot, so a
+  // client's computation is a pure function of (seed, dispatch order) no
+  // matter when its completion event is consumed. Dropped clients train too
+  // (their update is lost in transit): the device-latency model still needs
+  // their ClientWork to place the loss event on the virtual clock.
+  m.begin_dispatch(tasks);
+  std::vector<Upload> uploads(tasks.size());
+  core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
+                       [&](std::int64_t ti) {
+                         const auto i = static_cast<std::size_t>(ti);
+                         uploads[i] = m.train_client(tasks[i]);
+                       });
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Event ev;
+    ev.seq = seq_++;
+    ev.task = tasks[i];
+    ev.dropped_out = dropped[i] != 0;
+    if (tasks[i].has_device)
+      ev.duration =
+          client_sim_time(m.time_spec(eng.env()), tasks[i].device,
+                          uploads[i].work, eng.env().cost_cfg,
+                          eng.config().local_iters);
+    ev.up = std::move(uploads[i]);
+    // The server hears back after the client's own duration, except that a
+    // straggler cutoff caps how long it waits on any one dispatch. A dropped
+    // client never reports: the server notices at the cutoff if one is set,
+    // otherwise at the time the client would have finished.
+    double delay = ev.duration.total();
+    if (cfg_.straggler_cutoff_s > 0.0)
+      delay = ev.dropped_out ? cfg_.straggler_cutoff_s
+                             : std::min(delay, cfg_.straggler_cutoff_s);
+    ev.finish_s = clock_s_ + delay;
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++st.dispatched;
+  }
+}
+
+AsyncScheduler::Event AsyncScheduler::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+RoundStats AsyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
+                                     std::int64_t t) {
+  RoundStats st;
+  const double clock_at_entry = clock_s_;
+  if (!filled_) {
+    const std::int64_t k = cfg_.concurrency > 0
+                               ? cfg_.concurrency
+                               : eng.config().clients_per_round;
+    dispatch(eng, m, t, std::max<std::int64_t>(1, k), st);
+    filled_ = true;
+  }
+
+  // Churn through dropouts/stragglers until one update actually lands.
+  for (std::int64_t churn = 0;; ++churn) {
+    if (churn > 1000 + 10 * eng.config().num_clients)
+      throw std::runtime_error(
+          "AsyncScheduler: dropout/straggler settings starve aggregation");
+    Event ev = pop_next();
+    clock_s_ = std::max(clock_s_, ev.finish_s);
+
+    if (ev.dropped_out) {
+      ++st.dropped_out;
+      dispatch(eng, m, t, 1, st);
+      continue;
+    }
+    if (cfg_.straggler_cutoff_s > 0.0 &&
+        ev.duration.total() > cfg_.straggler_cutoff_s) {
+      ++st.dropped_stragglers;
+      dispatch(eng, m, t, 1, st);
+      continue;
+    }
+
+    // FedAsync-style staleness decay: alpha / (t - tau + 1), optionally
+    // scaled by the client's relative data size q_k * N.
+    const double staleness = static_cast<double>(t - ev.task.round);
+    double mix = cfg_.alpha / (staleness + 1.0);
+    if (cfg_.scale_by_data)
+      mix *= static_cast<double>(ev.up.weight) *
+             static_cast<double>(eng.config().num_clients);
+    mix = std::clamp(mix, cfg_.min_mix, 1.0);
+
+    const TimeBreakdown duration = ev.duration;
+    m.apply_update(ev.task, std::move(ev.up), ApplyMode::kBlend,
+                   static_cast<float>(mix));
+    m.finalize_round(t);
+    st.applied = 1;
+    st.mean_staleness = staleness;
+
+    // Refill from the post-aggregation model: the fresh dispatch belongs to
+    // server round t + 1.
+    dispatch(eng, m, t + 1, 1, st);
+
+    // The round's wall-clock advance, split by the applied client's own
+    // compute/access ratio (the async clock has no single-client identity,
+    // so this is an attribution, not a measurement).
+    const double delta = clock_s_ - clock_at_entry;
+    const double access_frac =
+        duration.total() > 0.0 ? duration.access_s / duration.total() : 0.0;
+    st.time.access_s = delta * access_frac;
+    st.time.compute_s = delta - st.time.access_s;
+    return st;
+  }
+}
+
+}  // namespace fp::fed

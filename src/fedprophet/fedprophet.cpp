@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "core/parallel.hpp"
-
 namespace fp::fedprophet {
 
 FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
@@ -15,10 +13,13 @@ FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
                cascade::partition_model(cfg2_.model_spec, cfg2_.rmin_bytes,
                                         cfg2_.fl.batch_size),
                init_rng_),
-      apa_(cfg2_.alpha_init, cfg2_.delta_alpha, cfg2_.gamma, cfg2_.apa) {
+      apa_(cfg2_.alpha_init, cfg2_.delta_alpha, cfg2_.gamma, cfg2_.apa),
+      acc_(model_) {
   clients_.resize(static_cast<std::size_t>(env.num_clients()));
   for (std::size_t k = 0; k < clients_.size(); ++k)
     clients_[k].rng = Rng(cfg2_.fl.seed + 1000 + k);
+  acc_.reset();
+  aux_acc_.resize(cascade_.num_modules());
 }
 
 data::BatchIterator& FedProphet::client_batches(std::size_t k) {
@@ -39,118 +40,141 @@ std::int64_t FedProphet::input_dim_of_stage() const {
   return model_.spec().shape_before(mod.begin).numel();
 }
 
-void FedProphet::run_round(std::int64_t /*t*/) {
-  const auto rc = sample_round();
-  const float eps = current_epsilon();
-  const float lr = lr_at(global_round_);
+void FedProphet::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  round_lr_ = tasks.empty() ? lr_at(global_round_) : tasks.front().lr;
 
-  // Minimum available performance among this round's participants (Eq. 15).
-  double perf_min = 1.0;
-  if (!rc.devices.empty()) {
-    perf_min = rc.devices[0].avail_flops;
-    for (const auto& d : rc.devices) perf_min = std::min(perf_min, d.avail_flops);
+  // Minimum available performance among the cohort (Eq. 15): the last
+  // clients_per_round dispatched devices. A sync barrier round dispatches
+  // exactly that many at once (identical to min over the round's devices);
+  // async single-client refills keep differentiating against the in-flight
+  // cohort instead of degenerating to their own speed.
+  for (const auto& task : tasks)
+    if (task.has_device) perf_window_.push_back(task.device.avail_flops);
+  const auto cap = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cfg2_.fl.clients_per_round));
+  if (perf_window_.size() > cap)
+    perf_window_.erase(perf_window_.begin(), perf_window_.end() - cap);
+  perf_min_ = 1.0;
+  if (!perf_window_.empty()) {
+    perf_min_ = perf_window_.front();
+    for (const double p : perf_window_) perf_min_ = std::min(perf_min_, p);
   }
 
   // Snapshot the global model + aux heads once; every client trains a
   // private replica restored from these blobs, so clients can run
   // concurrently on the shared pool without stepping on the server state.
-  const std::size_t num_modules = cascade_.num_modules();
-  const nn::ParamBlob global_all = model_.save_all();
-  std::vector<nn::ParamBlob> global_aux(num_modules);
-  for (std::size_t j = stage_; j < num_modules; ++j)
-    global_aux[j] = cascade_.save_aux(j);
-
-  struct ClientUpload {
-    std::size_t atom_begin = 0, atom_end = 0, module_end = 0;
-    std::vector<nn::ParamBlob> atoms;  ///< trained atoms [atom_begin, atom_end)
-    nn::ParamBlob aux;                 ///< aux head of module_end-1 (may be empty)
-    fed::ClientWork work;
-  };
-  std::vector<ClientUpload> uploads(rc.ids.size());
-
-  // Per-client local training, one pool task per client. Each client only
-  // touches its own RNG stream / batch iterator and a task-private model, so
-  // results are bit-identical for any FP_NUM_THREADS (aggregation below runs
-  // on this thread in client order).
-  core::parallel_tasks(static_cast<std::int64_t>(rc.ids.size()), [&](std::int64_t ti) {
-    const auto i = static_cast<std::size_t>(ti);
-    const std::size_t k = rc.ids[i];
-    Rng build_rng(0);  // replica init is overwritten by the global snapshot
-    models::BuiltModel local_model(model_.spec(), build_rng);
-    local_model.load_all(global_all);
-    cascade::CascadeState local_cascade(local_model, cascade_.partition(),
-                                        build_rng);
+  // The snapshot survives across dispatch groups until finalize_round
+  // changes the server state (async dropout/straggler refills reuse it).
+  if (broadcast_.empty()) {
+    const std::size_t num_modules = cascade_.num_modules();
+    broadcast_ = model_.save_all();
+    broadcast_aux_.assign(num_modules, {});
     for (std::size_t j = stage_; j < num_modules; ++j)
-      local_cascade.load_aux(j, global_aux[j]);
-
-    // Differentiated Module Assignment (Eq. 14/15).
-    std::size_t module_end = stage_ + 1;
-    if (!rc.devices.empty()) {
-      const auto avail_mem = static_cast<std::int64_t>(
-          static_cast<double>(rc.devices[i].avail_mem_bytes) *
-          cfg2_.device_mem_scale);
-      module_end =
-          assign_modules(model_.spec(), cascade_.partition(), stage_,
-                         cfg2_.fl.batch_size, avail_mem, rc.devices[i].avail_flops,
-                         perf_min, cfg2_.dma);
-    } else if (cfg2_.dma) {
-      module_end = num_modules;  // no device pool: everyone is a prophet
-    }
-
-    cascade::LocalTrainConfig tcfg;
-    tcfg.module_begin = stage_;
-    tcfg.module_end = module_end;
-    tcfg.mu = cfg2_.mu;
-    tcfg.eps_in = eps;
-    tcfg.pgd_steps = cfg2_.fl.pgd_steps;
-    tcfg.sgd = cfg2_.fl.sgd;
-    tcfg.sgd.lr = lr;
-    cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
-    auto& batches = client_batches(k);
-    for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
-      trainer.train_batch(batches.next(), clients_[k].rng);
-
-    // Stage the upload: trained atoms (Eq. 16) and the last assigned
-    // module's auxiliary head (Eq. 17).
-    auto& up = uploads[i];
-    up.atom_begin = trainer.atom_begin();
-    up.atom_end = trainer.atom_end();
-    up.module_end = module_end;
-    up.atoms.reserve(up.atom_end - up.atom_begin);
-    for (std::size_t a = up.atom_begin; a < up.atom_end; ++a)
-      up.atoms.push_back(local_model.save_atom(a));
-    if (local_cascade.aux_head(module_end - 1))
-      up.aux = local_cascade.save_aux(module_end - 1);
-
-    // Simulated wall-clock contribution.
-    up.work.atom_begin = cascade_.partition().modules[stage_].begin;
-    up.work.atom_end = cascade_.partition().modules[module_end - 1].end;
-    up.work.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
-    up.work.pgd_steps = cfg2_.fl.pgd_steps;
-  });
-
-  // Server aggregation in client order (deterministic float summation).
-  fed::PartialAccumulator acc(model_);
-  acc.reset();
-  std::vector<fed::BlobAverager> aux_acc(num_modules);
-  std::vector<fed::ClientWork> work;
-  work.reserve(rc.ids.size());
-  for (std::size_t i = 0; i < rc.ids.size(); ++i) {
-    const auto& up = uploads[i];
-    const float qk = env_->weights[rc.ids[i]];
-    for (std::size_t a = up.atom_begin; a < up.atom_end; ++a)
-      acc.add_dense_atom_blob(a, up.atoms[a - up.atom_begin], qk);
-    if (!up.aux.empty()) aux_acc[up.module_end - 1].add(up.aux, qk);
-    work.push_back(up.work);
+      broadcast_aux_[j] = cascade_.save_aux(j);
   }
-  acc.finalize_into(model_);
+}
+
+fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
+  const std::size_t num_modules = cascade_.num_modules();
+  const float eps = current_epsilon();
+  const std::size_t k = task.client;
+  Rng build_rng(0);  // replica init is overwritten by the global snapshot
+  models::BuiltModel local_model(model_.spec(), build_rng);
+  local_model.load_all(broadcast_);
+  cascade::CascadeState local_cascade(local_model, cascade_.partition(),
+                                      build_rng);
   for (std::size_t j = stage_; j < num_modules; ++j)
-    if (!aux_acc[j].empty()) cascade_.load_aux(j, aux_acc[j].average());
+    local_cascade.load_aux(j, broadcast_aux_[j]);
 
-  if (!rc.devices.empty())
-    add_sim_time(fed::simulate_round_time(model_.spec(), rc.devices, work,
-                                          env_->cost_cfg, cfg2_.fl.local_iters));
+  // Differentiated Module Assignment (Eq. 14/15).
+  std::size_t module_end = stage_ + 1;
+  if (task.has_device) {
+    const auto avail_mem = static_cast<std::int64_t>(
+        static_cast<double>(task.device.avail_mem_bytes) *
+        cfg2_.device_mem_scale);
+    module_end =
+        assign_modules(model_.spec(), cascade_.partition(), stage_,
+                       cfg2_.fl.batch_size, avail_mem, task.device.avail_flops,
+                       perf_min_, cfg2_.dma);
+  } else if (cfg2_.dma) {
+    module_end = num_modules;  // no device pool: everyone is a prophet
+  }
 
+  cascade::LocalTrainConfig tcfg;
+  tcfg.module_begin = stage_;
+  tcfg.module_end = module_end;
+  tcfg.mu = cfg2_.mu;
+  tcfg.eps_in = eps;
+  tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+  tcfg.sgd = cfg2_.fl.sgd;
+  tcfg.sgd.lr = round_lr_;
+  cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
+  auto& batches = client_batches(k);
+  for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
+    trainer.train_batch(batches.next(), clients_[k].rng);
+
+  // Stage the upload: trained atoms (Eq. 16) and the last assigned
+  // module's auxiliary head (Eq. 17).
+  Payload p;
+  p.atom_begin = trainer.atom_begin();
+  p.atom_end = trainer.atom_end();
+  p.module_end = module_end;
+  p.atoms.reserve(p.atom_end - p.atom_begin);
+  for (std::size_t a = p.atom_begin; a < p.atom_end; ++a)
+    p.atoms.push_back(local_model.save_atom(a));
+  if (local_cascade.aux_head(module_end - 1))
+    p.aux = local_cascade.save_aux(module_end - 1);
+
+  fed::Upload up;
+  up.weight = task.weight;
+  // Simulated wall-clock contribution.
+  up.work.atom_begin = cascade_.partition().modules[stage_].begin;
+  up.work.atom_end = cascade_.partition().modules[module_end - 1].end;
+  up.work.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
+  up.work.pgd_steps = cfg2_.fl.pgd_steps;
+  up.payload = std::move(p);
+  return up;
+}
+
+void FedProphet::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
+                              fed::ApplyMode mode, float mix) {
+  auto& p = std::any_cast<Payload&>(up.payload);
+  if (mode == fed::ApplyMode::kBlend) {
+    // One stale update lands as (1-mix)*current + mix*trained on exactly the
+    // atoms (and aux head) the client trained; everything else keeps its
+    // value through the partial average's membership rule. Atoms of modules
+    // the cascade has already fixed are discarded: their E[max ||Delta z||]
+    // has fed the next stage's budget (Eq. 11) and they must stay frozen.
+    const std::size_t active_begin =
+        cascade_.partition().modules[stage_].begin;
+    for (std::size_t a = std::max(p.atom_begin, active_begin); a < p.atom_end;
+         ++a) {
+      acc_.add_dense_atom_blob(a, model_.save_atom(a), 1.0f - mix);
+      acc_.add_dense_atom_blob(a, p.atoms[a - p.atom_begin], mix);
+    }
+    if (!p.aux.empty() && p.module_end >= stage_ + 1) {
+      aux_acc_[p.module_end - 1].add(cascade_.save_aux(p.module_end - 1),
+                                     1.0f - mix);
+      aux_acc_[p.module_end - 1].add(p.aux, mix);
+    }
+  } else {
+    for (std::size_t a = p.atom_begin; a < p.atom_end; ++a)
+      acc_.add_dense_atom_blob(a, p.atoms[a - p.atom_begin], up.weight);
+    if (!p.aux.empty()) aux_acc_[p.module_end - 1].add(p.aux, up.weight);
+  }
+}
+
+void FedProphet::finalize_round(std::int64_t /*t*/) {
+  acc_.finalize_into(model_);
+  acc_.reset();
+  for (std::size_t j = 0; j < aux_acc_.size(); ++j) {
+    if (aux_acc_[j].empty()) continue;
+    cascade_.load_aux(j, aux_acc_[j].average());
+    aux_acc_[j].reset();
+  }
+  broadcast_.clear();  // server state changed: next dispatch re-snapshots
+
+  const float eps = current_epsilon();
   eps_trace_.push_back(
       stage_ == 0
           ? static_cast<double>(cfg2_.fl.epsilon0)

@@ -49,10 +49,9 @@ class FedProphet final : public fed::FederatedAlgorithm {
   cascade::CascadeState& cascade() { return cascade_; }
   const cascade::Partition& partition() const { return cascade_.partition(); }
 
-  /// Full Algorithm 2 (all modules). run_round is stage-internal.
+  /// Full Algorithm 2 (all modules). Rounds are stage-internal and execute
+  /// through the shared fed::RoundEngine (run_round from the base class).
   void train();
-
-  void run_round(std::int64_t t) override;  ///< one round of the current stage
 
   /// Per-stage records: module index, rounds used, final prefix accuracy,
   /// eps actually used, measured ||Delta z|| statistics.
@@ -76,6 +75,27 @@ class FedProphet final : public fed::FederatedAlgorithm {
     Rng rng;
     std::optional<data::BatchIterator> batches;
   };
+  /// Wire payload: the trained atom range, the last assigned module, the
+  /// atom blobs (Eq. 16), and that module's auxiliary head (Eq. 17).
+  struct Payload {
+    std::size_t atom_begin = 0, atom_end = 0, module_end = 0;
+    std::vector<nn::ParamBlob> atoms;
+    nn::ParamBlob aux;
+  };
+
+  // RoundEngine hooks: Differentiated Module Assignment decides what each
+  // client trains; uploads partial-average per atom plus aux heads.
+  void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
+  fed::Upload train_client(const fed::TaskSpec& task) override;
+  void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
+                    fed::ApplyMode mode, float mix) override;
+  void finalize_round(std::int64_t t) override;
+  /// FedProphet prices its ClientWork on the trainable backbone (atom ranges
+  /// index the cascade partition), not the paper-shape cost spec.
+  const sys::ModelSpec& time_spec(const fed::FedEnv&) const override {
+    return model_.spec();
+  }
+
   data::BatchIterator& client_batches(std::size_t k);
   float current_epsilon() const;
   std::int64_t input_dim_of_stage() const;
@@ -89,6 +109,15 @@ class FedProphet final : public fed::FederatedAlgorithm {
   std::vector<ClientRt> clients_;
   std::vector<StageRecord> stages_;
   std::vector<double> eps_trace_;
+
+  // Dispatch/aggregation state owned by the engine pipeline.
+  nn::ParamBlob broadcast_;
+  std::vector<nn::ParamBlob> broadcast_aux_;
+  float round_lr_ = 0.0f;
+  double perf_min_ = 1.0;  ///< Eq. 15's min available performance
+  std::vector<double> perf_window_;  ///< last clients_per_round device speeds
+  fed::PartialAccumulator acc_;
+  std::vector<fed::BlobAverager> aux_acc_;
 
   std::size_t stage_ = 0;           ///< current module index m
   std::int64_t global_round_ = 0;   ///< t across all stages

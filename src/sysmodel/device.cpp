@@ -46,15 +46,18 @@ DeviceSampler::DeviceSampler(const std::vector<Device>& pool,
   for (auto& c : cumulative_) c /= acc;
 }
 
-DeviceInstance DeviceSampler::sample() {
-  const double u = rng_.uniform();
+std::size_t DeviceSampler::draw_pool_index(Rng& rng) const {
+  const double u = rng.uniform();
   const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-  const std::size_t idx = static_cast<std::size_t>(
+  return static_cast<std::size_t>(
       std::min<std::ptrdiff_t>(it - cumulative_.begin(),
                                static_cast<std::ptrdiff_t>(pool_.size()) - 1));
-  const Device& d = pool_[idx];
+}
+
+DeviceInstance DeviceSampler::degrade(std::size_t pool_index) {
+  const Device& d = pool_[pool_index];
   DeviceInstance inst;
-  inst.pool_index = idx;
+  inst.pool_index = pool_index;
   inst.name = d.name;
   const double d_mem = rng_.uniform(0.0f, 0.2f);
   const double d_perf = rng_.uniform(0.0f, 1.0f);
@@ -65,6 +68,14 @@ DeviceInstance DeviceSampler::sample() {
   inst.avail_flops = std::max(inst.avail_flops, d.peak_flops() * 0.1);
   inst.io_bytes_per_s = d.io_bytes_per_s();
   return inst;
+}
+
+DeviceInstance DeviceSampler::sample() { return degrade(draw_pool_index(rng_)); }
+
+DeviceInstance DeviceSampler::sample_bound(std::size_t pool_index) {
+  if (pool_index >= pool_.size())
+    throw std::invalid_argument("DeviceSampler: pool index out of range");
+  return degrade(pool_index);
 }
 
 std::vector<DeviceInstance> DeviceSampler::sample_n(std::size_t n) {

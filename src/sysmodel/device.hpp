@@ -59,9 +59,19 @@ class DeviceSampler {
   DeviceInstance sample();
   std::vector<DeviceInstance> sample_n(std::size_t n);
 
+  /// Draws a pool index from the heterogeneity-weighted distribution using
+  /// an external stream (persistent client-device binding at env build).
+  std::size_t draw_pool_index(Rng& rng) const;
+
+  /// Samples fresh availability degradation for a FIXED pool device — the
+  /// per-round draw for a client with a persistent device binding.
+  DeviceInstance sample_bound(std::size_t pool_index);
+
   const std::vector<Device>& pool() const { return pool_; }
 
  private:
+  DeviceInstance degrade(std::size_t pool_index);
+
   std::vector<Device> pool_;
   std::vector<double> cumulative_;  ///< sampling CDF
   Rng rng_;
