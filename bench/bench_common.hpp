@@ -114,7 +114,19 @@ struct MethodResult {
   attack::RobustEvalResult metrics;
   fed::TimeBreakdown sim_time;
   fed::History history;  ///< accuracy/sim-time trajectory of the run
+  std::int64_t bytes_up = 0;    ///< cumulative wire bytes clients uploaded
+  std::int64_t bytes_down = 0;  ///< cumulative wire bytes clients downloaded
 };
+
+/// One communication-volume summary line per trained scenario (satellite of
+/// the comm subsystem): what the run pushed over the simulated wire.
+inline void print_comm_summary(const MethodResult& r,
+                               const fed::FlConfig& fl) {
+  std::printf("    [comm] %-12s codec=%-8s up %8.2f MB  down %8.2f MB\n",
+              r.name.c_str(), comm::codec_name(fl.comm.codec),
+              static_cast<double>(r.bytes_up) / 1e6,
+              static_cast<double>(r.bytes_down) / 1e6);
+}
 
 inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
   attack::RobustEvalConfig e;
@@ -140,6 +152,10 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
   auto eval_into = [&](models::BuiltModel& model) {
     result.metrics = attack::evaluate_robustness(model, s.env.test, eval_cfg);
   };
+  auto record_comm = [&result](fed::FederatedAlgorithm& algo) {
+    result.bytes_up = algo.total_stats().bytes_up;
+    result.bytes_down = algo.total_stats().bytes_down;
+  };
 
   if (name == "jFAT") {
     baselines::JFatConfig cfg;
@@ -151,6 +167,7 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     result.sim_time = algo.sim_time();
     result.history = algo.history();
     fed::export_history_if_requested(name, algo.history());
+    record_comm(algo);
     eval_into(algo.global_model());
   } else if (name == "FedDF-AT" || name == "FedET-AT") {
     baselines::DistillationConfig cfg;
@@ -165,6 +182,7 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     result.sim_time = algo.sim_time();
     result.history = algo.history();
     fed::export_history_if_requested(name, algo.history());
+    record_comm(algo);
     eval_into(algo.global_model());
   } else if (name == "HeteroFL-AT" || name == "FedDrop-AT" ||
              name == "FedRolex-AT") {
@@ -181,6 +199,7 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     result.sim_time = algo.sim_time();
     result.history = algo.history();
     fed::export_history_if_requested(name, algo.history());
+    record_comm(algo);
     eval_into(algo.global_model());
   } else if (name == "FedRBN") {
     baselines::FedRbnConfig cfg;
@@ -193,6 +212,7 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     result.sim_time = algo.sim_time();
     result.history = algo.history();
     fed::export_history_if_requested(name, algo.history());
+    record_comm(algo);
     // Dual-BN evaluation: clean bank for clean accuracy, adversarial bank
     // for the attacks.
     algo.use_adv_bank(false);
@@ -219,11 +239,13 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     result.sim_time = algo.sim_time();
     result.history = algo.history();
     fed::export_history_if_requested(name, algo.history());
+    record_comm(algo);
     eval_into(algo.global_model());
   } else {
     std::fprintf(stderr, "unknown method %s\n", name.c_str());
     std::abort();
   }
+  print_comm_summary(result, s.fl);
   return result;
 }
 

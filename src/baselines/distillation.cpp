@@ -44,9 +44,14 @@ void DistillationFAT::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
 
   // The snapshots survive across dispatch groups until finalize_round
   // changes the prototypes (async dropout/straggler refills reuse them).
+  // A client only downloads the one architecture it trains, so wire sizes
+  // are tracked per prototype.
   if (broadcast_.empty()) {
     broadcast_.reserve(prototypes_.size());
-    for (auto& p : prototypes_) broadcast_.push_back(p->save_all());
+    broadcast_bytes_.assign(prototypes_.size(), 0);
+    for (std::size_t a = 0; a < prototypes_.size(); ++a)
+      broadcast_.push_back(engine().channel().downlink(
+          prototypes_[a]->save_all(), &broadcast_bytes_[a]));
   }
 
   // Each client trains the largest architecture its memory affords.
@@ -78,7 +83,10 @@ fed::Upload DistillationFAT::train_client(const fed::TaskSpec& task) {
                        static_cast<double>(family_mem_.back());
   up.work.mem_scale = scale;    // the chosen model fits: no swap
   up.work.flops_scale = scale;  // smaller model, proportionally less compute
-  up.payload = Payload{arch, local.save_all()};
+  up.bytes_down = broadcast_bytes_[arch];
+  up.payload = Payload{arch, engine().channel().uplink(local.save_all(),
+                                                       &broadcast_[arch],
+                                                       &up.bytes_up)};
   return up;
 }
 

@@ -68,6 +68,7 @@ class DistillationFAT final : public fed::FederatedAlgorithm {
 
   // Dispatch/aggregation state owned by the engine pipeline.
   std::vector<nn::ParamBlob> broadcast_;  ///< one snapshot per prototype
+  std::vector<std::int64_t> broadcast_bytes_;  ///< wire size per prototype
   std::vector<std::size_t> archs_;        ///< per-slot architecture choice
   LocalAtConfig at_;
   nn::SgdConfig round_sgd_;

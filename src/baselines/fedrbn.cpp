@@ -14,8 +14,13 @@ FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
 
 void FedRbn::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
   // The snapshot survives across dispatch groups until finalize_round
-  // changes the model (async dropout/straggler refills reuse it).
-  if (broadcast_.empty()) broadcast_ = model_.save_all();
+  // changes the model (async dropout/straggler refills reuse it). Clients
+  // train from the blob as the wire codec delivers it.
+  if (broadcast_.empty()) {
+    broadcast_bytes_ = 0;
+    broadcast_ =
+        engine().channel().downlink(model_.save_all(), &broadcast_bytes_);
+  }
   round_sgd_ = cfg_.sgd;
   if (!tasks.empty()) round_sgd_.lr = tasks.front().lr;
 
@@ -56,7 +61,9 @@ fed::Upload FedRbn::train_client(const fed::TaskSpec& task) {
   // Standard training on memory-poor clients: 1 forward + 1 backward and
   // the model may still need swapping if even ST exceeds memory.
   up.work.pgd_steps = can_at ? cfg_.pgd_steps : 0;
-  up.payload = local.save_all();
+  up.bytes_down = broadcast_bytes_;
+  up.payload =
+      engine().channel().uplink(local.save_all(), &broadcast_, &up.bytes_up);
   return up;
 }
 
@@ -94,6 +101,8 @@ fed::RoundRecord FedRbn::evaluate_snapshot(std::int64_t round,
   rec.adv_acc = attack::evaluate_pgd(model_, env_->test, ecfg);
   use_adv_bank(false);
   rec.sim_time_s = sim_time().total();
+  rec.bytes_up = total_stats().bytes_up;
+  rec.bytes_down = total_stats().bytes_down;
   return rec;
 }
 

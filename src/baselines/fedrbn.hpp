@@ -61,7 +61,8 @@ class FedRbn final : public fed::FederatedAlgorithm {
   std::int64_t selections_ = 0, at_selections_ = 0;
 
   // Dispatch/aggregation state owned by the engine pipeline.
-  nn::ParamBlob broadcast_;
+  nn::ParamBlob broadcast_;            ///< as decoded by clients (wire codec)
+  std::int64_t broadcast_bytes_ = 0;   ///< wire size of one broadcast download
   nn::SgdConfig round_sgd_;
   std::vector<char> can_at_;  ///< per-slot adversarial eligibility
   fed::BlobAverager averager_;

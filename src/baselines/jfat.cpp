@@ -11,8 +11,13 @@ JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
 
 void JFat::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
   // The snapshot survives across dispatch groups until finalize_round
-  // changes the model (async dropout/straggler refills reuse it).
-  if (broadcast_.empty()) broadcast_ = model_.save_all();
+  // changes the model (async dropout/straggler refills reuse it). Clients
+  // train from the blob as the wire codec delivers it.
+  if (broadcast_.empty()) {
+    broadcast_bytes_ = 0;
+    broadcast_ =
+        engine().channel().downlink(model_.save_all(), &broadcast_bytes_);
+  }
   at_ = LocalAtConfig{};
   at_.epsilon = cfg_.epsilon0;
   at_.pgd_steps = adversarial_ ? cfg_.pgd_steps : 0;
@@ -37,7 +42,11 @@ fed::Upload JFat::train_client(const fed::TaskSpec& task) {
   up.work.atom_end = env_->cost_spec.atoms.size();
   up.work.with_aux = false;
   up.work.pgd_steps = at_.pgd_steps;
-  up.payload = local.save_all();
+  up.bytes_down = broadcast_bytes_;
+  // Uplink through the engine's channel: the server aggregates the update as
+  // the codec decodes it (delta codecs reference the broadcast both ends hold).
+  up.payload =
+      engine().channel().uplink(local.save_all(), &broadcast_, &up.bytes_up);
   return up;
 }
 

@@ -38,7 +38,8 @@ class JFat final : public fed::FederatedAlgorithm {
   fed::ClientPool clients_;
 
   // Dispatch/aggregation state owned by the engine pipeline.
-  nn::ParamBlob broadcast_;
+  nn::ParamBlob broadcast_;            ///< as decoded by clients (wire codec)
+  std::int64_t broadcast_bytes_ = 0;   ///< wire size of one broadcast download
   LocalAtConfig at_;
   nn::SgdConfig round_sgd_;
   fed::BlobAverager averager_;

@@ -70,13 +70,32 @@ fed::Upload PartialTrainingFAT::train_client(const fed::TaskSpec& task) {
       plans_[task.slot].sliced_spec, build_rng);
   models::gather_weights(model_.spec(), plans_[task.slot], model_, *sliced);
 
+  fed::Upload up;
+  // The server ships only the sliced sub-model, so the wire round-trip is
+  // sized (and lossy-coded) on the slice, not the full network. Under a
+  // lossless codec the round-trips are bit-exact no-ops: count the dense
+  // frames (down and up carry the same slice-sized blob) and skip the
+  // serialize/reload passes on this hot path.
+  const auto& channel = engine().channel();
+  nn::ParamBlob received;
+  if (channel.lossless()) {
+    channel.downlink(sliced->save_all(), &up.bytes_down);
+    up.bytes_up = up.bytes_down;
+  } else {
+    received = channel.downlink(sliced->save_all(), &up.bytes_down);
+    sliced->load_all(received);
+  }
+
   nn::Sgd opt(sliced->parameters_range(0, sliced->num_atoms()),
               sliced->gradients_range(0, sliced->num_atoms()), round_sgd_);
   auto& batches = clients_.batches(task.client, cfg_.batch_size);
   for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
     at_train_batch(*sliced, opt, batches.next(), at_, clients_.rng(task.client));
 
-  fed::Upload up;
+  if (!channel.lossless())
+    sliced->load_all(
+        channel.uplink(sliced->save_all(), &received, &up.bytes_up));
+
   up.weight = task.weight;
   up.work.atom_begin = 0;
   up.work.atom_end = env_->cost_spec.atoms.size();

@@ -1,0 +1,40 @@
+#include "comm/channel.hpp"
+
+namespace fp::comm {
+
+Channel::Channel(const CommConfig& cfg)
+    : cfg_(cfg), codec_(make_codec(cfg)), net_(cfg.model_network) {}
+
+std::int64_t Channel::dense_wire_bytes(const nn::ParamBlob& blob) {
+  return static_cast<std::int64_t>(blob.size() * sizeof(float)) +
+         static_cast<std::int64_t>(WireMessage::kHeaderBytes);
+}
+
+nn::ParamBlob Channel::downlink(nn::ParamBlob blob,
+                                std::int64_t* wire_bytes) const {
+  const bool dense = !cfg_.compress_downlink ||
+                     codec_->kind() == CodecKind::kIdentity ||
+                     codec_->kind() == CodecKind::kTopK;
+  if (dense) {
+    // Identity framing: skip the encode/decode copy, the bytes are the
+    // dense fp32 payload either way and the values are bit-identical.
+    if (wire_bytes) *wire_bytes += dense_wire_bytes(blob);
+    return blob;
+  }
+  const WireMessage msg = codec_->encode(blob, nullptr);
+  if (wire_bytes) *wire_bytes += msg.wire_bytes();
+  return codec_->decode(msg, nullptr);
+}
+
+nn::ParamBlob Channel::uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
+                              std::int64_t* wire_bytes) const {
+  if (codec_->kind() == CodecKind::kIdentity) {
+    if (wire_bytes) *wire_bytes += dense_wire_bytes(blob);
+    return blob;  // bit-identical fast path keeps golden hashes exact
+  }
+  const WireMessage msg = codec_->encode(blob, ref);
+  if (wire_bytes) *wire_bytes += msg.wire_bytes();
+  return codec_->decode(msg, ref);
+}
+
+}  // namespace fp::comm

@@ -1,0 +1,56 @@
+// The engine-owned communication channel: every server->client broadcast and
+// client->server upload of the federated runtime is routed through here. The
+// channel applies the configured wire codec (encode immediately followed by
+// decode — the simulation has no real network, but the lossy round-trip and
+// the byte counts are exactly what a deployment would see) and exposes the
+// NetworkModel the schedulers price transfers with.
+//
+// All methods are const and pure: uplinks may run concurrently from client
+// worker threads (the engine aggregates byte counts on its own thread).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/codec.hpp"
+#include "comm/network.hpp"
+
+namespace fp::comm {
+
+class Channel {
+ public:
+  explicit Channel(const CommConfig& cfg);
+
+  const CommConfig& config() const { return cfg_; }
+  const BlobCodec& codec() const { return *codec_; }
+  const NetworkModel& network() const { return net_; }
+
+  /// True when the configured codec round-trips bit-exactly (IdentityCodec):
+  /// callers that serialize state solely to push it through the channel may
+  /// skip the re-load, since the decoded blob is the one they encoded.
+  bool lossless() const { return codec_->kind() == CodecKind::kIdentity; }
+
+  /// Server->client broadcast: returns the blob as the client receives it and
+  /// adds the framed wire size to *wire_bytes (if given). Dense (identity
+  /// framing) unless `compress_downlink` is set; TopK downlinks always stay
+  /// dense — without a client-side reference a sparsified broadcast would
+  /// zero most of the model.
+  nn::ParamBlob downlink(nn::ParamBlob blob, std::int64_t* wire_bytes) const;
+
+  /// Client->server upload: returns the blob as the server decodes it and
+  /// adds the framed wire size to *wire_bytes (if given). `ref` is the blob
+  /// both ends already share (the broadcast the client trained from); TopK
+  /// delta selection measures magnitudes against it and fills unsent
+  /// coordinates from it.
+  nn::ParamBlob uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
+                       std::int64_t* wire_bytes) const;
+
+ private:
+  static std::int64_t dense_wire_bytes(const nn::ParamBlob& blob);
+
+  CommConfig cfg_;
+  std::unique_ptr<BlobCodec> codec_;
+  NetworkModel net_;
+};
+
+}  // namespace fp::comm

@@ -1,0 +1,32 @@
+#include "comm/network.hpp"
+
+namespace fp::comm {
+
+namespace {
+double transfer_s(double bytes_per_s, double latency_s, std::int64_t bytes) {
+  if (bytes <= 0 || bytes_per_s <= 0.0) return 0.0;
+  return latency_s + static_cast<double>(bytes) / bytes_per_s;
+}
+}  // namespace
+
+double NetworkModel::download_s(const sys::DeviceInstance& device,
+                                std::int64_t wire_bytes) const {
+  if (!enabled_) return 0.0;
+  return transfer_s(device.net_down_bytes_per_s, device.net_latency_s,
+                    wire_bytes);
+}
+
+double NetworkModel::upload_s(const sys::DeviceInstance& device,
+                              std::int64_t wire_bytes) const {
+  if (!enabled_) return 0.0;
+  return transfer_s(device.net_up_bytes_per_s, device.net_latency_s,
+                    wire_bytes);
+}
+
+double NetworkModel::round_trip_s(const sys::DeviceInstance& device,
+                                  std::int64_t bytes_down,
+                                  std::int64_t bytes_up) const {
+  return download_s(device, bytes_down) + upload_s(device, bytes_up);
+}
+
+}  // namespace fp::comm

@@ -1,0 +1,38 @@
+// Bandwidth-aware network model: converts WireMessage sizes into simulated
+// transfer time on a device's (degraded) up/downlink. Disabled by default so
+// the historical sim-time goldens are unchanged; byte accounting is always
+// active regardless. See DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "sysmodel/device.hpp"
+
+namespace fp::comm {
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Seconds to push `wire_bytes` from the server to the device: one link
+  /// latency plus bytes over the degraded downlink bandwidth. Zero when the
+  /// model is disabled, nothing is transferred, or the device has no link.
+  double download_s(const sys::DeviceInstance& device,
+                    std::int64_t wire_bytes) const;
+
+  /// Seconds to push `wire_bytes` from the device to the server.
+  double upload_s(const sys::DeviceInstance& device,
+                  std::int64_t wire_bytes) const;
+
+  /// download_s + upload_s — one client's full round-trip transfer cost.
+  double round_trip_s(const sys::DeviceInstance& device,
+                      std::int64_t bytes_down, std::int64_t bytes_up) const;
+
+ private:
+  bool enabled_ = false;
+};
+
+}  // namespace fp::comm

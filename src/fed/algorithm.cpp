@@ -14,6 +14,8 @@ void FederatedAlgorithm::run_round(std::int64_t t) {
   total_stats_.applied += last_stats_.applied;
   total_stats_.dropped_stragglers += last_stats_.dropped_stragglers;
   total_stats_.dropped_out += last_stats_.dropped_out;
+  total_stats_.bytes_down += last_stats_.bytes_down;
+  total_stats_.bytes_up += last_stats_.bytes_up;
 }
 
 void FederatedAlgorithm::run(std::int64_t eval_every) {
@@ -39,6 +41,8 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
                                          ecfg.batch_size, max_samples);
   rec.adv_acc = attack::evaluate_pgd(global_model(), env_->test, ecfg);
   rec.sim_time_s = sim_time_.total();
+  rec.bytes_up = total_stats_.bytes_up;
+  rec.bytes_down = total_stats_.bytes_down;
   return rec;
 }
 

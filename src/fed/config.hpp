@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "nn/optimizer.hpp"
 #include "sysmodel/cost_model.hpp"
 #include "sysmodel/device.hpp"
@@ -49,16 +50,21 @@ struct FlConfig {
   std::uint64_t seed = 123;
   SchedulerKind scheduler = SchedulerKind::kSync;
   AsyncConfig async;
+  /// Wire codec + network-model knobs (src/comm/, DESIGN.md §5). Defaults
+  /// (IdentityCodec, network model off) keep historical outputs bit-identical.
+  comm::CommConfig comm;
 };
 
 /// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).
 struct TimeBreakdown {
   double compute_s = 0.0;
   double access_s = 0.0;
-  double total() const { return compute_s + access_s; }
+  double comm_s = 0.0;  ///< network transfer time (zero unless comm.model_network)
+  double total() const { return compute_s + access_s + comm_s; }
   void operator+=(const TimeBreakdown& other) {
     compute_s += other.compute_s;
     access_s += other.access_s;
+    comm_s += other.comm_s;
   }
 };
 
@@ -69,6 +75,8 @@ struct RoundRecord {
   double adv_acc = 0.0;
   double sim_time_s = 0.0;  ///< cumulative simulated wall clock
   double extra = 0.0;       ///< algorithm-specific scalar (e.g. eps per dim)
+  std::int64_t bytes_up = 0;    ///< cumulative wire bytes uploaded
+  std::int64_t bytes_down = 0;  ///< cumulative wire bytes downloaded
 };
 
 using History = std::vector<RoundRecord>;

@@ -64,6 +64,20 @@ TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
   return out;
 }
 
+TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
+                              const sys::DeviceInstance& device,
+                              const ClientWork& work,
+                              const sys::TrainCostConfig& base_cfg,
+                              std::int64_t local_iters,
+                              const comm::NetworkModel& net,
+                              std::int64_t bytes_down, std::int64_t bytes_up) {
+  TimeBreakdown out =
+      client_sim_time(spec, device, work, base_cfg, local_iters);
+  // One download + one upload per dispatch (not per local iteration).
+  out.comm_s = net.round_trip_s(device, bytes_down, bytes_up);
+  return out;
+}
+
 TimeBreakdown simulate_round_time(const sys::ModelSpec& spec,
                                   const std::vector<sys::DeviceInstance>& devices,
                                   const std::vector<ClientWork>& work,

@@ -4,6 +4,7 @@
 
 #include <optional>
 
+#include "comm/network.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 #include "fed/config.hpp"
@@ -67,6 +68,18 @@ TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
                               const ClientWork& work,
                               const sys::TrainCostConfig& base_cfg,
                               std::int64_t local_iters);
+
+/// Same, plus the client's network round-trip: downloading `bytes_down` and
+/// uploading `bytes_up` over its degraded link (comm_s term; zero when the
+/// network model is disabled). This is what the schedulers price dispatches
+/// with, so straggler cutoffs and event times account for transfer time.
+TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
+                              const sys::DeviceInstance& device,
+                              const ClientWork& work,
+                              const sys::TrainCostConfig& base_cfg,
+                              std::int64_t local_iters,
+                              const comm::NetworkModel& net,
+                              std::int64_t bytes_down, std::int64_t bytes_up);
 
 /// Synchronous-round time: max over clients of local_iters * per-step time;
 /// the breakdown is the slowest client's compute/access split.

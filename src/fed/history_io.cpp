@@ -32,11 +32,12 @@ std::string json_escape(const std::string& s) {
 bool write_history_csv(const std::string& path, const History& history) {
   std::FILE* f = open_creating_dirs(path);
   if (!f) return false;
-  std::fprintf(f, "round,clean_acc,adv_acc,sim_time_s,extra\n");
+  std::fprintf(f, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,extra\n");
   for (const auto& rec : history)
-    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%.9g\n",
+    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%.9g\n",
                  static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
-                 rec.sim_time_s, rec.extra);
+                 rec.sim_time_s, static_cast<long long>(rec.bytes_up),
+                 static_cast<long long>(rec.bytes_down), rec.extra);
   return std::fclose(f) == 0;
 }
 
@@ -50,9 +51,12 @@ bool write_history_json(const std::string& path, const std::string& method,
     const auto& rec = history[i];
     std::fprintf(f,
                  "%s\n  {\"round\": %lld, \"clean_acc\": %.9g, "
-                 "\"adv_acc\": %.9g, \"sim_time_s\": %.9g, \"extra\": %.9g}",
+                 "\"adv_acc\": %.9g, \"sim_time_s\": %.9g, "
+                 "\"bytes_up\": %lld, \"bytes_down\": %lld, \"extra\": %.9g}",
                  i ? "," : "", static_cast<long long>(rec.round), rec.clean_acc,
-                 rec.adv_acc, rec.sim_time_s, rec.extra);
+                 rec.adv_acc, rec.sim_time_s,
+                 static_cast<long long>(rec.bytes_up),
+                 static_cast<long long>(rec.bytes_down), rec.extra);
   }
   std::fprintf(f, "\n]}\n");
   return std::fclose(f) == 0;

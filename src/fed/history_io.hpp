@@ -8,7 +8,8 @@
 
 namespace fp::fed {
 
-/// Writes `round,clean_acc,adv_acc,sim_time_s,extra` rows (with a header).
+/// Writes `round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,extra`
+/// rows (with a header); the byte columns are cumulative wire traffic.
 /// Creates parent directories as needed. Returns false on I/O failure.
 bool write_history_csv(const std::string& path, const History& history);
 

@@ -5,7 +5,10 @@
 namespace fp::fed {
 
 RoundEngine::RoundEngine(FedEnv& env, const FlConfig& cfg)
-    : env_(&env), cfg_(cfg), sampler_(env.num_clients(), cfg.seed + 11) {
+    : env_(&env),
+      cfg_(cfg),
+      sampler_(env.num_clients(), cfg.seed + 11),
+      channel_(cfg.comm) {
   switch (cfg_.scheduler) {
     case SchedulerKind::kSync:
       scheduler_ = std::make_unique<SyncScheduler>();

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "fed/config.hpp"
 #include "fed/env.hpp"
 #include "fed/sampler.hpp"
@@ -41,6 +42,12 @@ struct TaskSpec {
 struct Upload {
   ClientWork work;
   float weight = 0.0f;  ///< q_k, echoed from the TaskSpec
+  /// Wire bytes of this client's round-trip through the engine's Channel:
+  /// the broadcast it downloaded and the encoded update it uploads. Filled
+  /// by the method in train_client; the schedulers price transfer time and
+  /// accumulate per-round byte totals from them.
+  std::int64_t bytes_down = 0;
+  std::int64_t bytes_up = 0;
   std::any payload;
 };
 
@@ -109,6 +116,8 @@ struct RoundStats {
   std::size_t dropped_stragglers = 0;
   std::size_t dropped_out = 0;
   double mean_staleness = 0.0;  ///< staleness of the applied update(s)
+  std::int64_t bytes_down = 0;  ///< wire bytes broadcast to clients this round
+  std::int64_t bytes_up = 0;    ///< wire bytes received from clients this round
 };
 
 class RoundScheduler;
@@ -127,6 +136,11 @@ class RoundEngine {
   const FlConfig& config() const { return cfg_; }
   FedEnv& env() { return *env_; }
 
+  /// Every method download/upload routes through this channel (wire codec +
+  /// byte accounting + network model). Const and thread-safe: clients call
+  /// uplink concurrently from train_client.
+  const comm::Channel& channel() const { return channel_; }
+
   float lr_at(std::int64_t t) const {
     return cfg_.lr0 * std::pow(cfg_.lr_decay, static_cast<float>(t));
   }
@@ -140,6 +154,7 @@ class RoundEngine {
   FedEnv* env_;
   FlConfig cfg_;
   ClientSampler sampler_;
+  comm::Channel channel_;
   std::unique_ptr<RoundScheduler> scheduler_;
 };
 

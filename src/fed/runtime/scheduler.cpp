@@ -27,24 +27,32 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
 
   RoundStats st;
   st.dispatched = st.applied = tasks.size();
-  std::vector<sys::DeviceInstance> devices;
-  std::vector<ClientWork> work;
-  devices.reserve(tasks.size());
-  work.reserve(tasks.size());
   const bool with_devices = !tasks.empty() && tasks.front().has_device;
+  // Barrier-round time: the slowest participant's download + train + upload
+  // (the comm term is zero unless comm.model_network is on, which keeps the
+  // pre-comm goldens bit-identical). Priced before apply_update moves the
+  // uploads away.
+  TimeBreakdown slowest;
+  double slowest_total = -1.0;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
+    st.bytes_down += uploads[i].bytes_down;
+    st.bytes_up += uploads[i].bytes_up;
     if (with_devices) {
-      devices.push_back(tasks[i].device);
-      work.push_back(uploads[i].work);
+      const TimeBreakdown ti = client_sim_time(
+          m.time_spec(eng.env()), tasks[i].device, uploads[i].work,
+          eng.env().cost_cfg, eng.config().local_iters,
+          eng.channel().network(), uploads[i].bytes_down, uploads[i].bytes_up);
+      if (ti.total() > slowest_total) {
+        slowest_total = ti.total();
+        slowest = ti;
+      }
     }
     m.apply_update(tasks[i], std::move(uploads[i]), ApplyMode::kAccumulate,
                    1.0f);
   }
   m.finalize_round(t);
 
-  if (with_devices)
-    st.time = simulate_round_time(m.time_spec(eng.env()), devices, work,
-                                  eng.env().cost_cfg, eng.config().local_iters);
+  if (with_devices) st.time = slowest;
   return st;
 }
 
@@ -80,11 +88,15 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
     ev.seq = seq_++;
     ev.task = tasks[i];
     ev.dropped_out = dropped[i] != 0;
+    // The broadcast went out the moment the client was dispatched; its
+    // upload bytes are only counted if the server ever hears the event.
+    st.bytes_down += uploads[i].bytes_down;
     if (tasks[i].has_device)
-      ev.duration =
-          client_sim_time(m.time_spec(eng.env()), tasks[i].device,
-                          uploads[i].work, eng.env().cost_cfg,
-                          eng.config().local_iters);
+      ev.duration = client_sim_time(
+          m.time_spec(eng.env()), tasks[i].device, uploads[i].work,
+          eng.env().cost_cfg, eng.config().local_iters,
+          eng.channel().network(), uploads[i].bytes_down,
+          uploads[i].bytes_up);
     ev.up = std::move(uploads[i]);
     // The server hears back after the client's own duration, except that a
     // straggler cutoff caps how long it waits on any one dispatch. A dropped
@@ -133,6 +145,9 @@ RoundStats AsyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
       dispatch(eng, m, t, 1, st);
       continue;
     }
+    // The upload reached the server (stragglers arrive, just too late to be
+    // used; the duration they are judged on includes their transfer time).
+    st.bytes_up += ev.up.bytes_up;
     if (cfg_.straggler_cutoff_s > 0.0 &&
         ev.duration.total() > cfg_.straggler_cutoff_s) {
       ++st.dropped_stragglers;
@@ -161,13 +176,15 @@ RoundStats AsyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
     dispatch(eng, m, t + 1, 1, st);
 
     // The round's wall-clock advance, split by the applied client's own
-    // compute/access ratio (the async clock has no single-client identity,
-    // so this is an attribution, not a measurement).
+    // compute/access/comm ratio (the async clock has no single-client
+    // identity, so this is an attribution, not a measurement).
     const double delta = clock_s_ - clock_at_entry;
-    const double access_frac =
-        duration.total() > 0.0 ? duration.access_s / duration.total() : 0.0;
+    const double total = duration.total();
+    const double access_frac = total > 0.0 ? duration.access_s / total : 0.0;
+    const double comm_frac = total > 0.0 ? duration.comm_s / total : 0.0;
     st.time.access_s = delta * access_frac;
-    st.time.compute_s = delta - st.time.access_s;
+    st.time.comm_s = delta * comm_frac;
+    st.time.compute_s = delta - st.time.access_s - st.time.comm_s;
     return st;
   }
 }

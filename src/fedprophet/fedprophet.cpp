@@ -20,6 +20,9 @@ FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
     clients_[k].rng = Rng(cfg2_.fl.seed + 1000 + k);
   acc_.reset();
   aux_acc_.resize(cascade_.num_modules());
+  atom_blob_elems_.reserve(model_.num_atoms());
+  for (std::size_t a = 0; a < model_.num_atoms(); ++a)
+    atom_blob_elems_.push_back(model_.save_atom(a).size());
 }
 
 data::BatchIterator& FedProphet::client_batches(std::size_t k) {
@@ -67,10 +70,23 @@ void FedProphet::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
   // changes the server state (async dropout/straggler refills reuse it).
   if (broadcast_.empty()) {
     const std::size_t num_modules = cascade_.num_modules();
-    broadcast_ = model_.save_all();
+    const auto& channel = engine().channel();
+    broadcast_bytes_ = 0;
+    broadcast_ = channel.downlink(model_.save_all(), &broadcast_bytes_);
     broadcast_aux_.assign(num_modules, {});
     for (std::size_t j = stage_; j < num_modules; ++j)
-      broadcast_aux_[j] = cascade_.save_aux(j);
+      broadcast_aux_[j] = channel.downlink(cascade_.save_aux(j),
+                                           &broadcast_bytes_);
+    // Per-atom slices of the broadcast (save_all concatenates atom blobs in
+    // order): the reference both ends share for delta-coded atom uplinks.
+    broadcast_atoms_.resize(atom_blob_elems_.size());
+    std::size_t off = 0;
+    for (std::size_t a = 0; a < atom_blob_elems_.size(); ++a) {
+      broadcast_atoms_[a].assign(broadcast_.begin() + off,
+                                 broadcast_.begin() + off +
+                                     atom_blob_elems_[a]);
+      off += atom_blob_elems_[a];
+    }
   }
 }
 
@@ -114,19 +130,24 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
     trainer.train_batch(batches.next(), clients_[k].rng);
 
   // Stage the upload: trained atoms (Eq. 16) and the last assigned
-  // module's auxiliary head (Eq. 17).
+  // module's auxiliary head (Eq. 17), each routed through the wire codec
+  // with its broadcast slice as the shared delta reference.
+  fed::Upload up;
+  const auto& channel = engine().channel();
   Payload p;
   p.atom_begin = trainer.atom_begin();
   p.atom_end = trainer.atom_end();
   p.module_end = module_end;
   p.atoms.reserve(p.atom_end - p.atom_begin);
   for (std::size_t a = p.atom_begin; a < p.atom_end; ++a)
-    p.atoms.push_back(local_model.save_atom(a));
+    p.atoms.push_back(channel.uplink(local_model.save_atom(a),
+                                     &broadcast_atoms_[a], &up.bytes_up));
   if (local_cascade.aux_head(module_end - 1))
-    p.aux = local_cascade.save_aux(module_end - 1);
+    p.aux = channel.uplink(local_cascade.save_aux(module_end - 1),
+                           &broadcast_aux_[module_end - 1], &up.bytes_up);
 
-  fed::Upload up;
   up.weight = task.weight;
+  up.bytes_down = broadcast_bytes_;
   // Simulated wall-clock contribution.
   up.work.atom_begin = cascade_.partition().modules[stage_].begin;
   up.work.atom_end = cascade_.partition().modules[module_end - 1].end;
@@ -237,7 +258,8 @@ void FedProphet::train() {
       last_adv_ = accs.adv;
       apa_.update(accs.clean, accs.adv, prev_final_ratio_);
       history_.push_back({global_round_, accs.clean, accs.adv,
-                          sim_time_.total(), eps_trace_.back()});
+                          sim_time_.total(), eps_trace_.back(),
+                          total_stats_.bytes_up, total_stats_.bytes_down});
       const double score = accs.clean + accs.adv;
       if (score > best_score + 1e-6) {
         best_score = score;

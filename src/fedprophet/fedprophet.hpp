@@ -111,8 +111,11 @@ class FedProphet final : public fed::FederatedAlgorithm {
   std::vector<double> eps_trace_;
 
   // Dispatch/aggregation state owned by the engine pipeline.
-  nn::ParamBlob broadcast_;
-  std::vector<nn::ParamBlob> broadcast_aux_;
+  nn::ParamBlob broadcast_;                   ///< as decoded by clients
+  std::vector<nn::ParamBlob> broadcast_aux_;  ///< per-module aux-head blobs
+  std::vector<nn::ParamBlob> broadcast_atoms_;  ///< per-atom slices of broadcast_
+  std::vector<std::size_t> atom_blob_elems_;  ///< save_atom sizes (slicing)
+  std::int64_t broadcast_bytes_ = 0;  ///< wire size of one client's download
   float round_lr_ = 0.0f;
   double perf_min_ = 1.0;  ///< Eq. 15's min available performance
   std::vector<double> perf_window_;  ///< last clients_per_round device speeds

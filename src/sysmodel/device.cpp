@@ -5,31 +5,44 @@
 
 namespace fp::sys {
 
+// Link classes (down/up Mbit/s, one-way ms): laptops and phones sit on
+// WiFi/LTE-grade links with asymmetric uplinks; desktops, workstations, and
+// datacenter accelerator cards get Ethernet-grade symmetry.
 const std::vector<Device>& cifar_device_pool() {
   static const std::vector<Device> pool = {
-      {"GTX 1650m", 3.1, 4.0, 16.0},       {"TX2", 1.3, 4.0, 1.5},
-      {"KCU1500", 0.2, 2.0, 2.0},          {"VC709", 0.1, 2.0, 1.5},
-      {"Radeon HD 6870", 2.7, 1.0, 16.0},  {"Quadro M2200", 2.1, 4.0, 1.5},
-      {"A12 GPU", 0.5, 4.0, 1.5},          {"Geforce 750", 1.1, 1.0, 16.0},
-      {"Grid K240q", 2.3, 1.0, 16.0},      {"Radeon RX 6300m", 3.7, 2.0, 16.0},
+      {"GTX 1650m", 3.1, 4.0, 16.0, 200.0, 50.0, 5.0},
+      {"TX2", 1.3, 4.0, 1.5, 80.0, 30.0, 8.0},
+      {"KCU1500", 0.2, 2.0, 2.0, 1000.0, 1000.0, 1.0},
+      {"VC709", 0.1, 2.0, 1.5, 1000.0, 1000.0, 1.0},
+      {"Radeon HD 6870", 2.7, 1.0, 16.0, 300.0, 100.0, 3.0},
+      {"Quadro M2200", 2.1, 4.0, 1.5, 150.0, 40.0, 5.0},
+      {"A12 GPU", 0.5, 4.0, 1.5, 60.0, 15.0, 25.0},
+      {"Geforce 750", 1.1, 1.0, 16.0, 200.0, 80.0, 4.0},
+      {"Grid K240q", 2.3, 1.0, 16.0, 500.0, 250.0, 2.0},
+      {"Radeon RX 6300m", 3.7, 2.0, 16.0, 250.0, 60.0, 5.0},
   };
   return pool;
 }
 
 const std::vector<Device>& caltech_device_pool() {
   static const std::vector<Device> pool = {
-      {"Radeon RX 7600", 21.8, 8.0, 16.0},  {"Radeon RX 6800", 16.2, 16.0, 16.0},
-      {"Arc A770", 19.7, 16.0, 16.0},       {"Quadro P5000", 5.3, 16.0, 1.5},
-      {"RTX 3080m", 19.0, 8.0, 16.0},       {"RTX 4090m", 33.0, 16.0, 16.0},
-      {"A17 GPU", 2.1, 8.0, 1.5},           {"GTX 1650m", 3.1, 4.0, 16.0},
-      {"TX2", 1.3, 4.0, 1.5},               {"P104 101", 8.6, 4.0, 16.0},
+      {"Radeon RX 7600", 21.8, 8.0, 16.0, 500.0, 200.0, 3.0},
+      {"Radeon RX 6800", 16.2, 16.0, 16.0, 600.0, 250.0, 3.0},
+      {"Arc A770", 19.7, 16.0, 16.0, 500.0, 200.0, 3.0},
+      {"Quadro P5000", 5.3, 16.0, 1.5, 400.0, 150.0, 2.0},
+      {"RTX 3080m", 19.0, 8.0, 16.0, 300.0, 80.0, 5.0},
+      {"RTX 4090m", 33.0, 16.0, 16.0, 400.0, 100.0, 4.0},
+      {"A17 GPU", 2.1, 8.0, 1.5, 150.0, 40.0, 15.0},
+      {"GTX 1650m", 3.1, 4.0, 16.0, 200.0, 50.0, 5.0},
+      {"TX2", 1.3, 4.0, 1.5, 80.0, 30.0, 8.0},
+      {"P104 101", 8.6, 4.0, 16.0, 300.0, 100.0, 4.0},
   };
   return pool;
 }
 
 DeviceSampler::DeviceSampler(const std::vector<Device>& pool,
                              Heterogeneity heterogeneity, std::uint64_t seed)
-    : pool_(pool), rng_(seed) {
+    : pool_(pool), rng_(seed), net_rng_(seed ^ 0x6e657221ull) {
   if (pool_.empty()) throw std::invalid_argument("DeviceSampler: empty pool");
   std::vector<double> weights(pool_.size(), 1.0);
   if (heterogeneity == Heterogeneity::kUnbalanced) {
@@ -67,6 +80,12 @@ DeviceInstance DeviceSampler::degrade(std::size_t pool_index) {
   // Guard: a fully degraded device still makes progress (10% of peak).
   inst.avail_flops = std::max(inst.avail_flops, d.peak_flops() * 0.1);
   inst.io_bytes_per_s = d.io_bytes_per_s();
+  // Link congestion from the dedicated stream: drawing it from rng_ would
+  // shift every historical mem/perf draw and break the engine goldens.
+  const double d_net = net_rng_.uniform(0.3f, 1.0f);
+  inst.net_down_bytes_per_s = d.net_down_bytes_per_s() * d_net;
+  inst.net_up_bytes_per_s = d.net_up_bytes_per_s() * d_net;
+  inst.net_latency_s = d.net_latency_ms * 1e-3;
   return inst;
 }
 

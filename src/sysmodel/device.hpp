@@ -9,6 +9,14 @@
 // and d_perf ~ U[0, 1.0]. This matches Figure 6's scatter ranges (CIFAR pool:
 // up to 0.8 GB available of 4 GB devices; Caltech pool: up to ~3.2 GB of
 // 16 GB devices) and is what makes whole-model jFAT swap.
+//
+// Each device also carries a network link (asymmetric up/down bandwidth plus
+// one-way latency) for the communication model in src/comm/: the pools pair
+// phones and embedded boards with LTE/WiFi-class links and desktops/cloud
+// cards with Ethernet-class ones. Link bandwidth gets its own per-round
+// degradation factor d_net ~ U[0.3, 1.0] (congestion), drawn from a DEDICATED
+// stream so the historical mem/perf draws — and every golden hash priced on
+// them — are unchanged.
 #pragma once
 
 #include <cstdint>
@@ -23,13 +31,21 @@ struct Device {
   std::string name;
   double peak_tflops = 0.0;
   double mem_gb = 0.0;
-  double io_gbps = 0.0;  ///< storage I/O bandwidth, GB/s
+  /// STORAGE I/O bandwidth (GB/s) — the disk/flash link the memory-swapping
+  /// latency model streams excess working set over. This is NOT the network;
+  /// up/downlink bandwidth lives in net_up_mbps / net_down_mbps below.
+  double io_gbps = 0.0;
+  double net_down_mbps = 0.0;  ///< downlink bandwidth, Mbit/s
+  double net_up_mbps = 0.0;    ///< uplink bandwidth, Mbit/s (edge: << down)
+  double net_latency_ms = 0.0; ///< one-way link latency, ms
 
   double peak_flops() const { return peak_tflops * 1e12; }
   std::int64_t mem_bytes() const {
     return static_cast<std::int64_t>(mem_gb * (1ull << 30));
   }
   double io_bytes_per_s() const { return io_gbps * static_cast<double>(1ull << 30); }
+  double net_down_bytes_per_s() const { return net_down_mbps * 1e6 / 8.0; }
+  double net_up_bytes_per_s() const { return net_up_mbps * 1e6 / 8.0; }
 };
 
 /// Paper Table 5: device pool for the CIFAR-10 workload.
@@ -46,6 +62,9 @@ struct DeviceInstance {
   std::int64_t avail_mem_bytes = 0;
   double avail_flops = 0.0;
   double io_bytes_per_s = 0.0;
+  double net_down_bytes_per_s = 0.0;  ///< degraded downlink bandwidth
+  double net_up_bytes_per_s = 0.0;    ///< degraded uplink bandwidth
+  double net_latency_s = 0.0;         ///< one-way link latency
 };
 
 /// Samples device instances for the selected clients of one round.
@@ -75,6 +94,7 @@ class DeviceSampler {
   std::vector<Device> pool_;
   std::vector<double> cumulative_;  ///< sampling CDF
   Rng rng_;
+  Rng net_rng_;  ///< dedicated stream for link-congestion draws
 };
 
 }  // namespace fp::sys

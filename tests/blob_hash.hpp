@@ -1,0 +1,26 @@
+// Shared test helper: FNV-1a over a ParamBlob's float bit patterns. The
+// golden-hash tests (test_runtime) and the comm replay tests (test_comm)
+// must hash identically, so there is exactly one definition.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "nn/serialize.hpp"
+
+namespace fp::test {
+
+inline std::uint64_t fnv1a(const nn::ParamBlob& blob) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const float f : blob) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    for (int b = 0; b < 4; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace fp::test

@@ -15,6 +15,7 @@
 #include <fstream>
 
 #include "baselines/jfat.hpp"
+#include "blob_hash.hpp"
 #include "core/parallel.hpp"
 #include "data/synthetic.hpp"
 #include "fed/history_io.hpp"
@@ -25,18 +26,7 @@
 namespace fp {
 namespace {
 
-std::uint64_t fnv1a(const nn::ParamBlob& blob) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const float f : blob) {
-    std::uint32_t bits;
-    std::memcpy(&bits, &f, sizeof(bits));
-    for (int b = 0; b < 4; ++b) {
-      h ^= (bits >> (8 * b)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
-}
+using test::fnv1a;
 
 data::TrainTest tiny_data() {
   data::SyntheticConfig dcfg = data::synth_cifar_config();
@@ -90,6 +80,13 @@ TEST(SyncScheduler, JFatMatchesPreRefactorGolden) {
         << " threads";
     EXPECT_EQ(algo.sim_time().compute_s, kJfatGoldenCompute);
     EXPECT_EQ(algo.sim_time().access_s, kJfatGoldenAccess);
+    // The default IdentityCodec channel must be pure accounting: bytes are
+    // counted, but neither the aggregates (hash above) nor the simulated
+    // clock may move (network model off by default).
+    EXPECT_EQ(cfg.fl.comm.codec, comm::CodecKind::kIdentity);
+    EXPECT_GT(algo.total_stats().bytes_up, 0);
+    EXPECT_GT(algo.total_stats().bytes_down, 0);
+    EXPECT_EQ(algo.sim_time().comm_s, 0.0);
   }
   core::set_num_threads(1);
 }
@@ -117,6 +114,9 @@ TEST(SyncScheduler, FedProphetMatchesPreRefactorGolden) {
         << "aggregates diverged from the pre-refactor loop at " << threads
         << " threads";
     EXPECT_EQ(algo.sim_time().compute_s, kFpGoldenCompute);
+    // Identity wire codec: byte accounting without behavior change.
+    EXPECT_GT(algo.total_stats().bytes_up, 0);
+    EXPECT_EQ(algo.sim_time().comm_s, 0.0);
     ASSERT_EQ(algo.eps_trace().size(), 8u);
     EXPECT_EQ(algo.eps_trace()[0], kFpGoldenEps0);
     EXPECT_EQ(algo.eps_trace()[2], kFpGoldenEps2);
@@ -267,23 +267,34 @@ TEST(RoundEngine, PersistentDeviceBindingKeepsClientOnItsDevice) {
 
 TEST(HistoryIo, CsvRoundTripsRecords) {
   fed::History h;
-  h.push_back({5, 0.5, 0.25, 12.5, 0.01});
-  h.push_back({10, 0.625, 0.375, 30.0, 0.02});
+  h.push_back({5, 0.5, 0.25, 12.5, 0.01, 1024, 4096});
+  h.push_back({10, 0.625, 0.375, 30.0, 0.02, 2048, 8192});
   const auto dir = std::filesystem::temp_directory_path() / "fp_history_io";
   const auto path = (dir / "m.csv").string();
   ASSERT_TRUE(fed::write_history_csv(path, h));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "round,clean_acc,adv_acc,sim_time_s,extra");
+  EXPECT_EQ(line, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,extra");
   int rows = 0;
+  std::string first_row;
   while (std::getline(in, line))
-    if (!line.empty()) ++rows;
+    if (!line.empty()) {
+      if (first_row.empty()) first_row = line;
+      ++rows;
+    }
   EXPECT_EQ(rows, 2);
+  EXPECT_NE(first_row.find(",1024,4096,"), std::string::npos)
+      << "per-round byte counts missing from CSV row: " << first_row;
 
   const auto jpath = (dir / "m.json").string();
   ASSERT_TRUE(fed::write_history_json(jpath, "FedProphet", h));
   EXPECT_GT(std::filesystem::file_size(jpath), 0u);
+  std::ifstream jin(jpath);
+  const std::string json((std::istreambuf_iterator<char>(jin)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"bytes_up\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_down\": 8192"), std::string::npos);
   EXPECT_EQ(fed::sanitize_filename("jFAT (fast/42)"), "jFAT__fast_42_");
   std::filesystem::remove_all(dir);
 }
