@@ -19,6 +19,7 @@
 
 #include "attack/evaluate.hpp"
 #include "fed/history_io.hpp"
+#include "mem/planner.hpp"
 #include "baselines/distillation.hpp"
 #include "baselines/fedrbn.hpp"
 #include "baselines/jfat.hpp"
@@ -116,6 +117,8 @@ struct MethodResult {
   fed::History history;  ///< accuracy/sim-time trajectory of the run
   std::int64_t bytes_up = 0;    ///< cumulative wire bytes clients uploaded
   std::int64_t bytes_down = 0;  ///< cumulative wire bytes clients downloaded
+  std::int64_t peak_mem_bytes = 0;  ///< max measured client peak (0 = mem off)
+  std::size_t over_budget = 0;      ///< budget violations across the run
 };
 
 /// One communication-volume summary line per trained scenario (satellite of
@@ -126,6 +129,32 @@ inline void print_comm_summary(const MethodResult& r,
               r.name.c_str(), comm::codec_name(fl.comm.codec),
               static_cast<double>(r.bytes_up) / 1e6,
               static_cast<double>(r.bytes_down) / 1e6);
+}
+
+/// One memory-plane summary line per trained scenario (mem subsystem). The
+/// printed plan is the FULL trainable backbone's training peak — a fixed
+/// scale reference for the sweep, not a per-method prediction (sub-model
+/// and cascade methods train less than the full backbone and measure
+/// accordingly below it).
+inline void print_mem_summary(const MethodResult& r, const BenchSetup& s) {
+  mem::PlanRequest req;
+  req.atom_begin = 0;
+  req.atom_end = s.model.atoms.size();
+  req.batch_size = s.fl.batch_size;
+  req.resident_extra_bytes = mem::replica_resident_bytes(
+      s.model, 0, s.model.atoms.size(), s.fl.batch_size, 0);
+  const auto plan = mem::plan_module_memory(s.model, req);
+  char measured[48];
+  if (r.peak_mem_bytes > 0)
+    std::snprintf(measured, sizeof(measured), "%8.2f MB",
+                  static_cast<double>(r.peak_mem_bytes) / 1e6);
+  else
+    std::snprintf(measured, sizeof(measured), "%10s", "off");
+  std::printf(
+      "    [mem]  %-12s full-plan %8.2f MB  measured %s  ckpt %-3s  "
+      "over-budget %zu\n",
+      r.name.c_str(), static_cast<double>(plan.peak_bytes) / 1e6, measured,
+      s.fl.mem.checkpointing ? "on" : "off", r.over_budget);
 }
 
 inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
@@ -155,6 +184,8 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
   auto record_comm = [&result](fed::FederatedAlgorithm& algo) {
     result.bytes_up = algo.total_stats().bytes_up;
     result.bytes_down = algo.total_stats().bytes_down;
+    result.peak_mem_bytes = algo.total_stats().peak_mem_bytes;
+    result.over_budget = algo.total_stats().over_budget;
   };
 
   if (name == "jFAT") {
@@ -246,6 +277,7 @@ inline MethodResult run_method(const std::string& name, BenchSetup& s,
     std::abort();
   }
   print_comm_summary(result, s.fl);
+  print_mem_summary(result, s);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fed/budget_exec.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::baselines {
@@ -67,11 +68,6 @@ fed::Upload DistillationFAT::train_client(const fed::TaskSpec& task) {
   Rng build_rng(0);  // replica init is overwritten by the broadcast blob
   models::BuiltModel local(cfg2_.family[arch], build_rng);
   local.load_all(broadcast_[arch]);
-  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-              local.gradients_range(0, local.num_atoms()), round_sgd_);
-  auto& batches = clients_.batches(task.client, cfg_.batch_size);
-  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
 
   fed::Upload up;
   up.weight = task.weight;
@@ -83,6 +79,20 @@ fed::Upload DistillationFAT::train_client(const fed::TaskSpec& task) {
                        static_cast<double>(family_mem_.back());
   up.work.mem_scale = scale;    // the chosen model fits: no swap
   up.work.flops_scale = scale;  // smaller model, proportionally less compute
+  // Budget-aware execution (mem subsystem) on the chosen family member.
+  fed::apply_budgeted_execution(cfg2_.family[arch], 0, local.num_atoms(),
+                                cfg_.batch_size, /*with_aux_head=*/false,
+                                at_.adversarial && at_.pgd_steps > 0,
+                                /*aux_params_loaded=*/0, local,
+                                engine().config().mem.device_mem_scale,
+                                &up.work);
+
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
+
   up.bytes_down = broadcast_bytes_[arch];
   up.payload = Payload{arch, engine().channel().uplink(local.save_all(),
                                                        &broadcast_[arch],

@@ -1,5 +1,7 @@
 #include "baselines/fedrbn.hpp"
 
+#include "fed/budget_exec.hpp"
+
 namespace fp::baselines {
 
 FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
@@ -47,11 +49,6 @@ fed::Upload FedRbn::train_client(const fed::TaskSpec& task) {
   at.pgd_steps = can_at ? cfg_.pgd_steps : 0;
   at.adversarial = can_at;
   at.dual_bn = can_at;
-  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-              local.gradients_range(0, local.num_atoms()), round_sgd_);
-  auto& batches = clients_.batches(task.client, cfg_.batch_size);
-  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-    at_train_batch(local, opt, batches.next(), at, clients_.rng(task.client));
 
   fed::Upload up;
   up.weight = task.weight;
@@ -61,6 +58,21 @@ fed::Upload FedRbn::train_client(const fed::TaskSpec& task) {
   // Standard training on memory-poor clients: 1 forward + 1 backward and
   // the model may still need swapping if even ST exceeds memory.
   up.work.pgd_steps = can_at ? cfg_.pgd_steps : 0;
+  // Budget-aware execution (mem subsystem): dual-BN whole-model training,
+  // checkpointed when the bound budget demands it.
+  fed::apply_budgeted_execution(model_.spec(), 0, local.num_atoms(),
+                                cfg_.batch_size, /*with_aux_head=*/false,
+                                /*adversarial=*/can_at,
+                                /*aux_params_loaded=*/0, local,
+                                engine().config().mem.device_mem_scale,
+                                &up.work);
+
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at, clients_.rng(task.client));
+
   up.bytes_down = broadcast_bytes_;
   up.payload =
       engine().channel().uplink(local.save_all(), &broadcast_, &up.bytes_up);

@@ -1,5 +1,7 @@
 #include "baselines/jfat.hpp"
 
+#include "fed/budget_exec.hpp"
+
 namespace fp::baselines {
 
 JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
@@ -30,11 +32,6 @@ fed::Upload JFat::train_client(const fed::TaskSpec& task) {
   Rng build_rng(0);  // replica init is overwritten by the broadcast blob
   models::BuiltModel local(model_.spec(), build_rng);
   local.load_all(broadcast_);
-  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
-              local.gradients_range(0, local.num_atoms()), round_sgd_);
-  auto& batches = clients_.batches(task.client, cfg_.batch_size);
-  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
-    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
 
   fed::Upload up;
   up.weight = task.weight;
@@ -42,6 +39,23 @@ fed::Upload JFat::train_client(const fed::TaskSpec& task) {
   up.work.atom_end = env_->cost_spec.atoms.size();
   up.work.with_aux = false;
   up.work.pgd_steps = at_.pgd_steps;
+  // Budget-aware execution (mem subsystem): whole-model adversarial training
+  // is the method that overruns client memory, so plan the step's peak and
+  // checkpoint when the bound budget demands it. jFAT is priced on the
+  // paper-shape cost spec, hence the device_mem_scale mapping.
+  fed::apply_budgeted_execution(model_.spec(), 0, local.num_atoms(),
+                                cfg_.batch_size, /*with_aux_head=*/false,
+                                at_.adversarial && at_.pgd_steps > 0,
+                                /*aux_params_loaded=*/0, local,
+                                engine().config().mem.device_mem_scale,
+                                &up.work);
+
+  nn::Sgd opt(local.parameters_range(0, local.num_atoms()),
+              local.gradients_range(0, local.num_atoms()), round_sgd_);
+  auto& batches = clients_.batches(task.client, cfg_.batch_size);
+  for (std::int64_t it = 0; it < cfg_.local_iters; ++it)
+    at_train_batch(local, opt, batches.next(), at_, clients_.rng(task.client));
+
   up.bytes_down = broadcast_bytes_;
   // Uplink through the engine's channel: the server aggregates the update as
   // the codec decodes it (delta codecs reference the broadcast both ends hold).

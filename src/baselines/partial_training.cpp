@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fed/budget_exec.hpp"
+
 namespace fp::baselines {
 
 PartialTrainingFAT::PartialTrainingFAT(fed::FedEnv& env, PartialTrainingConfig cfg)
@@ -85,6 +87,15 @@ fed::Upload PartialTrainingFAT::train_client(const fed::TaskSpec& task) {
     received = channel.downlink(sliced->save_all(), &up.bytes_down);
     sliced->load_all(received);
   }
+
+  // Budget-aware execution (mem subsystem): the slice usually fits, but a
+  // tight enforced budget can still demand checkpointed training of it.
+  fed::apply_budgeted_execution(sliced->spec(), 0, sliced->num_atoms(),
+                                cfg_.batch_size, /*with_aux_head=*/false,
+                                at_.adversarial && at_.pgd_steps > 0,
+                                /*aux_params_loaded=*/0, *sliced,
+                                engine().config().mem.device_mem_scale,
+                                &up.work);
 
   nn::Sgd opt(sliced->parameters_range(0, sliced->num_atoms()),
               sliced->gradients_range(0, sliced->num_atoms()), round_sgd_);

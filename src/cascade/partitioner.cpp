@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mem/planner.hpp"
+
 namespace fp::cascade {
 
 namespace {
@@ -15,7 +17,8 @@ std::int64_t range_mem(const sys::ModelSpec& model, std::size_t begin,
 }  // namespace
 
 Partition partition_model(const sys::ModelSpec& model, std::int64_t rmin_bytes,
-                          std::int64_t batch_size) {
+                          std::int64_t batch_size,
+                          const sys::TrainCostConfig* cost_cfg) {
   if (model.atoms.empty()) throw std::invalid_argument("partition: empty model");
   Partition p;
   p.rmin_bytes = rmin_bytes;
@@ -32,6 +35,20 @@ Partition partition_model(const sys::ModelSpec& model, std::int64_t rmin_bytes,
   // Mark is_last correctly (only the final range).
   for (std::size_t m = 0; m + 1 < p.modules.size(); ++m)
     p.modules[m].is_last = false;
+
+  // Surface Rmin violations (single atoms too large to ever fit) with the
+  // swap cost one local training step of that module pays.
+  sys::TrainCostConfig cfg = cost_cfg ? *cost_cfg : sys::TrainCostConfig{};
+  cfg.batch_size = batch_size;
+  for (std::size_t m = 0; m < p.modules.size(); ++m) {
+    const std::int64_t mem = module_mem_bytes(model, p, m);
+    if (mem <= rmin_bytes) continue;
+    const auto& mod = p.modules[m];
+    const auto cost = sys::train_step_cost(model, mod.begin, mod.end,
+                                           !mod.is_last, cfg, rmin_bytes);
+    p.oversized.push_back({m, mem, mem - rmin_bytes, cost.swap_traversals,
+                           cost.swap_bytes});
+  }
   return p;
 }
 
@@ -46,6 +63,23 @@ std::int64_t module_macs(const sys::ModelSpec& model, const Partition& p,
   const auto& mod = p.modules.at(module_index);
   return sys::module_forward_macs(model, mod.begin, mod.end, p.batch_size,
                                   /*with_aux_head=*/!mod.is_last);
+}
+
+std::int64_t module_planned_peak_bytes(const sys::ModelSpec& model,
+                                       const Partition& p,
+                                       std::size_t module_index) {
+  const auto& mod = p.modules.at(module_index);
+  mem::PlanRequest req;
+  req.atom_begin = mod.begin;
+  req.atom_end = mod.end;
+  req.batch_size = p.batch_size;
+  req.with_aux_head = !mod.is_last;
+  req.include_runtime_scratch = false;  // idealized: comparable to analytic
+  // The liveness peak is the fragmentation-free bound: every term it sums
+  // also appears in the analytic requirement (with a lifetime at least as
+  // long), so planned <= analytic holds by construction. The best-fit
+  // assignment peak can sit a few percent above it.
+  return mem::plan_module_memory(model, req).liveness_peak_bytes;
 }
 
 std::string format_partition(const sys::ModelSpec& model, const Partition& p) {
@@ -67,6 +101,16 @@ std::string format_partition(const sys::ModelSpec& model, const Partition& p) {
                   names.c_str(),
                   static_cast<double>(module_mem_bytes(model, p, m)) / (1 << 20),
                   static_cast<double>(module_macs(model, p, m)) / 1e9);
+    os << buf;
+  }
+  for (const auto& ov : p.oversized) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  ! module %zu exceeds Rmin by %.1f MB: swaps %d "
+                  "traversals, %.1f MB per step\n",
+                  ov.module + 1,
+                  static_cast<double>(ov.excess_bytes) / (1 << 20),
+                  ov.swap_traversals, ov.swap_bytes / (1 << 20));
     os << buf;
   }
   return os.str();

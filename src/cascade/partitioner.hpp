@@ -23,20 +23,38 @@ struct ModuleRange {
   std::size_t num_atoms() const { return end - begin; }
 };
 
+/// A module whose single atom alone exceeds Rmin: training it within the
+/// reserved memory will swap. The greedy packing cannot split an atom, so
+/// instead of hiding the violation the partition surfaces the swap cost a
+/// client training this module pays per local step (priced with the
+/// default TrainCostConfig unless partition_model is given one).
+struct OversizedModule {
+  std::size_t module = 0;        ///< index into Partition::modules
+  std::int64_t mem_bytes = 0;    ///< training memory requirement
+  std::int64_t excess_bytes = 0; ///< mem_bytes - rmin_bytes
+  int swap_traversals = 0;       ///< swapped forward/backward passes per step
+  double swap_bytes = 0.0;       ///< bytes streamed to/from storage per step
+};
+
 struct Partition {
   std::vector<ModuleRange> modules;
   std::int64_t rmin_bytes = 0;
   std::int64_t batch_size = 0;
+  /// Modules that violate Rmin (oversized single atoms), with their swap
+  /// cost. Empty when every module fits — the paper's intended regime.
+  std::vector<OversizedModule> oversized;
 
   std::size_t num_modules() const { return modules.size(); }
 };
 
 /// Greedy Algorithm 1: append atoms to the current module while the training
 /// memory requirement (module + auxiliary head, batch included) stays below
-/// Rmin. An atom that alone exceeds Rmin becomes its own module (training it
-/// will swap; the paper's Rmin is chosen so this does not happen).
+/// Rmin. An atom that alone exceeds Rmin becomes its own module; the swap
+/// traffic training it incurs is surfaced in Partition::oversized.
+/// `cost_cfg` prices that swap traffic (nullptr = defaults).
 Partition partition_model(const sys::ModelSpec& model, std::int64_t rmin_bytes,
-                          std::int64_t batch_size);
+                          std::int64_t batch_size,
+                          const sys::TrainCostConfig* cost_cfg = nullptr);
 
 /// Memory requirement of training one module of the partition.
 std::int64_t module_mem_bytes(const sys::ModelSpec& model, const Partition& p,
@@ -45,6 +63,14 @@ std::int64_t module_mem_bytes(const sys::ModelSpec& model, const Partition& p,
 /// Forward MACs of one batch through one module (incl. aux head).
 std::int64_t module_macs(const sys::ModelSpec& model, const Partition& p,
                          std::size_t module_index);
+
+/// Liveness-planned peak of training one module (mem planner, idealized
+/// mode, fragmentation-free liveness bound): the measured-plane cross-check
+/// of module_mem_bytes. Provably <= the analytic requirement, so a partition
+/// whose modules fit Rmin analytically also fits under the planner.
+std::int64_t module_planned_peak_bytes(const sys::ModelSpec& model,
+                                       const Partition& p,
+                                       std::size_t module_index);
 
 /// Human-readable table of the partition (paper Tables 7/8 format).
 std::string format_partition(const sys::ModelSpec& model, const Partition& p);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mem/arena.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::cascade {
@@ -42,7 +43,13 @@ CascadeLocalTrainer::CascadeLocalTrainer(CascadeState& cascade,
 
 Tensor CascadeLocalTrainer::block_input(const Tensor& x) {
   if (atom_begin_ == 0) return x;
-  // Frozen preceding modules run in eval mode (they are fixed, w*_m).
+  // Frozen preceding modules run in eval mode (they are fixed, w*_m). Under
+  // a client memory scope their caches are released as the forward walks
+  // (there is never a backward through the prefix), so the frozen prefix
+  // contributes only a couple of flowing activations to the measured peak.
+  if (mem::scope_active())
+    return cascade_->model().forward_range_nocache(0, atom_begin_, x,
+                                                   /*train=*/false);
   return cascade_->model().forward_range(0, atom_begin_, x, /*train=*/false);
 }
 

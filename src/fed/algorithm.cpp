@@ -1,5 +1,7 @@
 #include "fed/algorithm.hpp"
 
+#include <algorithm>
+
 namespace fp::fed {
 
 FederatedAlgorithm::FederatedAlgorithm(FedEnv& env, FlConfig cfg)
@@ -16,6 +18,9 @@ void FederatedAlgorithm::run_round(std::int64_t t) {
   total_stats_.dropped_out += last_stats_.dropped_out;
   total_stats_.bytes_down += last_stats_.bytes_down;
   total_stats_.bytes_up += last_stats_.bytes_up;
+  total_stats_.peak_mem_bytes =
+      std::max(total_stats_.peak_mem_bytes, last_stats_.peak_mem_bytes);
+  total_stats_.over_budget += last_stats_.over_budget;
 }
 
 void FederatedAlgorithm::run(std::int64_t eval_every) {
@@ -43,6 +48,7 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   rec.sim_time_s = sim_time_.total();
   rec.bytes_up = total_stats_.bytes_up;
   rec.bytes_down = total_stats_.bytes_down;
+  rec.peak_mem_bytes = total_stats_.peak_mem_bytes;
   return rec;
 }
 

@@ -1,0 +1,39 @@
+#include "fed/budget_exec.hpp"
+
+#include "mem/arena.hpp"
+#include "mem/planner.hpp"
+
+namespace fp::fed {
+
+void apply_budgeted_execution(const sys::ModelSpec& spec,
+                              std::size_t atom_begin, std::size_t atom_end,
+                              std::int64_t batch_size, bool with_aux_head,
+                              bool adversarial,
+                              std::int64_t aux_params_loaded,
+                              models::BuiltModel& local, double pricing_scale,
+                              ClientWork* work) {
+  // Measured-plane pricing only under an enforced budget: measure-only mode
+  // must keep the historical clocks bit-identical.
+  const mem::Budget* budget = mem::current_budget();
+  if (!budget) return;
+
+  mem::PlanRequest req;
+  req.atom_begin = atom_begin;
+  req.atom_end = atom_end;
+  req.batch_size = batch_size;
+  req.with_aux_head = with_aux_head;
+  req.adversarial = adversarial;
+  req.resident_extra_bytes = mem::replica_resident_bytes(
+      spec, atom_begin, atom_end, batch_size, aux_params_loaded);
+  const auto exec = mem::plan_client_execution(spec, req);
+  if (exec.checkpointed())
+    local.set_checkpoint_segments(exec.checkpoint_starts);
+
+  work->planned_mem_bytes =
+      mem::to_pricing_scale(exec.planned_exec_peak_bytes, pricing_scale);
+  work->recompute_fwd_frac = exec.recompute_fwd_frac;
+  work->budget_mem_bytes =
+      mem::to_pricing_scale(budget->avail_mem_bytes, pricing_scale);
+}
+
+}  // namespace fp::fed

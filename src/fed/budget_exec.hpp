@@ -1,0 +1,35 @@
+// Shared budget-aware client execution (mem subsystem, DESIGN.md §6).
+//
+// Every task factory does the same dance in train_client: read the budget
+// bound to this thread (mem::ClientMemScope), plan the local training step's
+// peak, switch the local model to checkpointed execution when the plan
+// demands it, and price the decision into ClientWork. This helper owns that
+// dance once so the five methods cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+#include "fed/env.hpp"
+#include "models/built_model.hpp"
+
+namespace fp::fed {
+
+/// No-op unless a budget is enforced on this thread. `adversarial` states
+/// whether this client's step runs a PGD inner maximization (the plan
+/// reserves the attack's working set only then). `pricing_scale` is the
+/// device_mem_scale mapping of the spec this client's work is priced on:
+/// methods priced on the paper-shape cost spec pass
+/// engine().config().mem.device_mem_scale; methods priced on the trainable
+/// spec itself (FedProphet) pass 1.0. `aux_params_loaded` counts auxiliary
+/// head parameters resident in the replica beyond the trained range (the
+/// trained head, when with_aux_head is set, is charged by the planner
+/// itself).
+void apply_budgeted_execution(const sys::ModelSpec& spec,
+                              std::size_t atom_begin, std::size_t atom_end,
+                              std::int64_t batch_size, bool with_aux_head,
+                              bool adversarial,
+                              std::int64_t aux_params_loaded,
+                              models::BuiltModel& local, double pricing_scale,
+                              ClientWork* work);
+
+}  // namespace fp::fed

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "comm/codec.hpp"
+#include "mem/budget.hpp"
 #include "nn/optimizer.hpp"
 #include "sysmodel/cost_model.hpp"
 #include "sysmodel/device.hpp"
@@ -53,6 +54,9 @@ struct FlConfig {
   /// Wire codec + network-model knobs (src/comm/, DESIGN.md §5). Defaults
   /// (IdentityCodec, network model off) keep historical outputs bit-identical.
   comm::CommConfig comm;
+  /// Memory-plane knobs (src/mem/, DESIGN.md §6). Defaults (no measurement,
+  /// no budgets, no checkpointing) keep historical outputs bit-identical.
+  mem::MemConfig mem;
 };
 
 /// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).
@@ -77,6 +81,9 @@ struct RoundRecord {
   double extra = 0.0;       ///< algorithm-specific scalar (e.g. eps per dim)
   std::int64_t bytes_up = 0;    ///< cumulative wire bytes uploaded
   std::int64_t bytes_down = 0;  ///< cumulative wire bytes downloaded
+  /// Largest measured client training peak so far (bytes; 0 unless the mem
+  /// subsystem's measurement is on — see mem::MemConfig).
+  std::int64_t peak_mem_bytes = 0;
 };
 
 using History = std::vector<RoundRecord>;

@@ -53,6 +53,9 @@ TimeBreakdown client_sim_time(const sys::ModelSpec& spec,
   cfg.pgd_steps = work.pgd_steps;
   cfg.mem_scale = work.mem_scale;
   cfg.flops_scale = work.flops_scale;
+  cfg.planned_mem_bytes = work.planned_mem_bytes;
+  cfg.budget_mem_bytes = work.budget_mem_bytes;
+  cfg.recompute_fwd_frac = work.recompute_fwd_frac;
   const sys::StepCost cost =
       sys::train_step_cost(spec, work.atom_begin, work.atom_end, work.with_aux,
                            cfg, device.avail_mem_bytes);

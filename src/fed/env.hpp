@@ -59,6 +59,14 @@ struct ClientWork {
   double mem_scale = 1.0;
   /// FLOPs scale (e.g. a width-r sub-model costs about r^2 the MACs).
   double flops_scale = 1.0;
+  /// Mem-planner peak for the swap decision, expressed on the byte scale of
+  /// the spec this work is priced on (0 = analytic model; see
+  /// sys::TrainCostConfig).
+  std::int64_t planned_mem_bytes = 0;
+  /// Enforced training budget on the same scale (0 = device availability).
+  std::int64_t budget_mem_bytes = 0;
+  /// Extra forward fraction per traversal from activation checkpointing.
+  double recompute_fwd_frac = 0.0;
 };
 
 /// One client's simulated train duration: local_iters * per-step time on its

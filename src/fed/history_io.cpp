@@ -32,12 +32,14 @@ std::string json_escape(const std::string& s) {
 bool write_history_csv(const std::string& path, const History& history) {
   std::FILE* f = open_creating_dirs(path);
   if (!f) return false;
-  std::fprintf(f, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,extra\n");
+  std::fprintf(
+      f, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,peak_mem_bytes,extra\n");
   for (const auto& rec : history)
-    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%.9g\n",
+    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%.9g\n",
                  static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
                  rec.sim_time_s, static_cast<long long>(rec.bytes_up),
-                 static_cast<long long>(rec.bytes_down), rec.extra);
+                 static_cast<long long>(rec.bytes_down),
+                 static_cast<long long>(rec.peak_mem_bytes), rec.extra);
   return std::fclose(f) == 0;
 }
 
@@ -52,11 +54,13 @@ bool write_history_json(const std::string& path, const std::string& method,
     std::fprintf(f,
                  "%s\n  {\"round\": %lld, \"clean_acc\": %.9g, "
                  "\"adv_acc\": %.9g, \"sim_time_s\": %.9g, "
-                 "\"bytes_up\": %lld, \"bytes_down\": %lld, \"extra\": %.9g}",
+                 "\"bytes_up\": %lld, \"bytes_down\": %lld, "
+                 "\"peak_mem_bytes\": %lld, \"extra\": %.9g}",
                  i ? "," : "", static_cast<long long>(rec.round), rec.clean_acc,
                  rec.adv_acc, rec.sim_time_s,
                  static_cast<long long>(rec.bytes_up),
-                 static_cast<long long>(rec.bytes_down), rec.extra);
+                 static_cast<long long>(rec.bytes_down),
+                 static_cast<long long>(rec.peak_mem_bytes), rec.extra);
   }
   std::fprintf(f, "\n]}\n");
   return std::fclose(f) == 0;

@@ -1,6 +1,7 @@
 #include "fed/runtime/engine.hpp"
 
 #include "fed/runtime/scheduler.hpp"
+#include "mem/arena.hpp"
 
 namespace fp::fed {
 
@@ -23,6 +24,26 @@ RoundEngine::~RoundEngine() = default;
 
 RoundStats RoundEngine::run_round(RoundMethod& m, std::int64_t t) {
   return scheduler_->run_round(*this, m, t);
+}
+
+std::int64_t RoundEngine::client_budget_bytes(const TaskSpec& task) const {
+  if (!cfg_.mem.enforce_budget) return 0;
+  if (cfg_.mem.budget_override_bytes > 0) return cfg_.mem.budget_override_bytes;
+  if (!task.has_device) return 0;
+  return static_cast<std::int64_t>(
+      static_cast<double>(task.device.avail_mem_bytes) *
+      cfg_.mem.device_mem_scale);
+}
+
+Upload RoundEngine::run_client(RoundMethod& m, const TaskSpec& task) {
+  if (!cfg_.mem.active()) return m.train_client(task);
+  mem::Budget budget{client_budget_bytes(task)};
+  mem::ClientMemScope scope(budget, cfg_.mem.checkpointing);
+  Upload up = m.train_client(task);
+  up.peak_mem_bytes = scope.peak_bytes();
+  up.over_budget = budget.avail_mem_bytes > 0 &&
+                   up.peak_mem_bytes > budget.avail_mem_bytes;
+  return up;
 }
 
 std::vector<TaskSpec> RoundEngine::sample_tasks(std::int64_t t,

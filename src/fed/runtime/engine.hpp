@@ -48,6 +48,13 @@ struct Upload {
   /// accumulate per-round byte totals from them.
   std::int64_t bytes_down = 0;
   std::int64_t bytes_up = 0;
+  /// Measured arena high-water of this client's local training (bytes; 0
+  /// unless the mem subsystem's measurement is on). Filled by the engine
+  /// around train_client.
+  std::int64_t peak_mem_bytes = 0;
+  /// The measured peak exceeded the client's enforced budget — a reported
+  /// (never fatal) diagnostic; see mem::MemConfig.
+  bool over_budget = false;
   std::any payload;
 };
 
@@ -118,6 +125,8 @@ struct RoundStats {
   double mean_staleness = 0.0;  ///< staleness of the applied update(s)
   std::int64_t bytes_down = 0;  ///< wire bytes broadcast to clients this round
   std::int64_t bytes_up = 0;    ///< wire bytes received from clients this round
+  std::int64_t peak_mem_bytes = 0;  ///< max measured client peak (0 = mem off)
+  std::size_t over_budget = 0;      ///< clients whose peak exceeded their budget
 };
 
 class RoundScheduler;
@@ -149,6 +158,17 @@ class RoundEngine {
   /// device availability (persistent per-client binding when the env carries
   /// one, otherwise a fresh draw per task). Used by schedulers.
   std::vector<TaskSpec> sample_tasks(std::int64_t t, std::int64_t count);
+
+  /// Trains one client through the method, under the configured memory
+  /// plane: when cfg.mem is active, a mem::ClientMemScope (budget derived
+  /// from the task's device availability, or the fixed override) is bound
+  /// around train_client, and the measured peak + budget diagnostic land in
+  /// the Upload. Schedulers call this instead of m.train_client directly.
+  Upload run_client(RoundMethod& m, const TaskSpec& task);
+
+  /// The budget (bytes, trainable-model scale) client training under `task`
+  /// is scoped to; 0 = unbudgeted.
+  std::int64_t client_budget_bytes(const TaskSpec& task) const;
 
  private:
   FedEnv* env_;

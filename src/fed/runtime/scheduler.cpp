@@ -22,7 +22,7 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
   core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
                        [&](std::int64_t ti) {
                          const auto i = static_cast<std::size_t>(ti);
-                         uploads[i] = m.train_client(tasks[i]);
+                         uploads[i] = eng.run_client(m, tasks[i]);
                        });
 
   RoundStats st;
@@ -37,6 +37,8 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     st.bytes_down += uploads[i].bytes_down;
     st.bytes_up += uploads[i].bytes_up;
+    st.peak_mem_bytes = std::max(st.peak_mem_bytes, uploads[i].peak_mem_bytes);
+    st.over_budget += uploads[i].over_budget ? 1 : 0;
     if (with_devices) {
       const TimeBreakdown ti = client_sim_time(
           m.time_spec(eng.env()), tasks[i].device, uploads[i].work,
@@ -80,7 +82,7 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
   core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
                        [&](std::int64_t ti) {
                          const auto i = static_cast<std::size_t>(ti);
-                         uploads[i] = m.train_client(tasks[i]);
+                         uploads[i] = eng.run_client(m, tasks[i]);
                        });
 
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -91,6 +93,8 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
     // The broadcast went out the moment the client was dispatched; its
     // upload bytes are only counted if the server ever hears the event.
     st.bytes_down += uploads[i].bytes_down;
+    st.peak_mem_bytes = std::max(st.peak_mem_bytes, uploads[i].peak_mem_bytes);
+    st.over_budget += uploads[i].over_budget ? 1 : 0;
     if (tasks[i].has_device)
       ev.duration = client_sim_time(
           m.time_spec(eng.env()), tasks[i].device, uploads[i].work,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "fed/budget_exec.hpp"
+
 namespace fp::fedprophet {
 
 FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
@@ -116,6 +118,34 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
     module_end = num_modules;  // no device pool: everyone is a prophet
   }
 
+  // Budget-aware execution (mem subsystem): plan the trained block's peak
+  // against the budget bound to this dispatch and fall back to activation
+  // checkpointing when it does not fit. No budget bound = zero-cost no-op.
+  // FedProphet prices its work on the trainable backbone spec itself, so
+  // the measured-plane bytes feed the swap decision unscaled (scale 1.0).
+  const auto& part = cascade_.partition();
+  const std::size_t plan_begin = part.modules[stage_].begin;
+  const std::size_t plan_end = part.modules[module_end - 1].end;
+  const bool plan_aux = !part.modules[module_end - 1].is_last;
+  fed::Upload up;
+  up.work.atom_begin = plan_begin;
+  up.work.atom_end = plan_end;
+  up.work.with_aux = plan_aux;
+  up.work.pgd_steps = cfg2_.fl.pgd_steps;
+  {
+    // Aux heads resident in the replica beyond the trained one (which the
+    // planner itself charges as parameter state when plan_aux is set).
+    std::int64_t aux_params = 0;
+    for (std::size_t j = stage_; j < num_modules; ++j)
+      if (!(plan_aux && j == module_end - 1))
+        aux_params += static_cast<std::int64_t>(broadcast_aux_[j].size());
+    fed::apply_budgeted_execution(model_.spec(), plan_begin, plan_end,
+                                  cfg2_.fl.batch_size, plan_aux,
+                                  cfg2_.fl.pgd_steps > 0, aux_params,
+                                  local_model, /*pricing_scale=*/1.0,
+                                  &up.work);
+  }
+
   cascade::LocalTrainConfig tcfg;
   tcfg.module_begin = stage_;
   tcfg.module_end = module_end;
@@ -132,7 +162,6 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
   // Stage the upload: trained atoms (Eq. 16) and the last assigned
   // module's auxiliary head (Eq. 17), each routed through the wire codec
   // with its broadcast slice as the shared delta reference.
-  fed::Upload up;
   const auto& channel = engine().channel();
   Payload p;
   p.atom_begin = trainer.atom_begin();
@@ -148,11 +177,6 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
 
   up.weight = task.weight;
   up.bytes_down = broadcast_bytes_;
-  // Simulated wall-clock contribution.
-  up.work.atom_begin = cascade_.partition().modules[stage_].begin;
-  up.work.atom_end = cascade_.partition().modules[module_end - 1].end;
-  up.work.with_aux = !cascade_.partition().modules[module_end - 1].is_last;
-  up.work.pgd_steps = cfg2_.fl.pgd_steps;
   up.payload = std::move(p);
   return up;
 }
@@ -259,7 +283,8 @@ void FedProphet::train() {
       apa_.update(accs.clean, accs.adv, prev_final_ratio_);
       history_.push_back({global_round_, accs.clean, accs.adv,
                           sim_time_.total(), eps_trace_.back(),
-                          total_stats_.bytes_up, total_stats_.bytes_down});
+                          total_stats_.bytes_up, total_stats_.bytes_down,
+                          total_stats_.peak_mem_bytes});
       const double score = accs.clean + accs.adv;
       if (score > best_score + 1e-6) {
         best_score = score;

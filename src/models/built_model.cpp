@@ -51,10 +51,69 @@ BuiltModel::BuiltModel(sys::ModelSpec spec, Rng& rng) : spec_(std::move(spec)) {
   atoms_ = build_atoms(spec_, rng);
 }
 
+bool BuiltModel::ckpt_matches(std::size_t begin, std::size_t end) const {
+  // A checkpoint plan applies to the traversal of exactly the planned range:
+  // the first segment starts at `begin` and the last segment reaches `end`.
+  return !ckpt_starts_.empty() && ckpt_starts_.front() == begin &&
+         ckpt_starts_.back() < end;
+}
+
+std::vector<std::size_t> BuiltModel::segment_bounds(std::size_t end) const {
+  // Segment boundaries as [start_0, start_1, ..., end].
+  std::vector<std::size_t> bounds = ckpt_starts_;
+  bounds.push_back(end);
+  return bounds;
+}
+
+void BuiltModel::set_checkpoint_segments(std::vector<std::size_t> segment_starts) {
+  for (std::size_t i = 1; i < segment_starts.size(); ++i)
+    if (segment_starts[i] <= segment_starts[i - 1])
+      throw std::invalid_argument("checkpoint segments must ascend");
+  if (!segment_starts.empty() && segment_starts.back() >= atoms_.size())
+    throw std::invalid_argument("checkpoint segment start out of range");
+  ckpt_starts_ = std::move(segment_starts);
+  ckpt_pass_.reset();
+}
+
+Tensor BuiltModel::forward_range_nocache(std::size_t begin, std::size_t end,
+                                         const Tensor& x, bool train) {
+  if (begin > end || end > atoms_.size())
+    throw std::invalid_argument("forward_range_nocache: bad range");
+  Tensor h = x;
+  for (std::size_t i = begin; i < end; ++i) {
+    h = atoms_[i]->forward(h, train);
+    atoms_[i]->drop_cached_activations();
+  }
+  return h;
+}
+
+void BuiltModel::drop_caches_range(std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end && i < atoms_.size(); ++i)
+    atoms_[i]->drop_cached_activations();
+}
+
 Tensor BuiltModel::forward_range(std::size_t begin, std::size_t end, const Tensor& x,
                                  bool train) {
   if (begin > end || end > atoms_.size())
     throw std::invalid_argument("forward_range: bad range");
+  if (ckpt_matches(begin, end)) {
+    const auto bounds = segment_bounds(end);
+    CkptPass pass;
+    pass.begin = begin;
+    pass.end = end;
+    pass.train = train;
+    pass.seg_inputs.resize(bounds.size() - 2);
+    Tensor h = x;
+    for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+      const bool final_seg = s + 2 == bounds.size();
+      if (!final_seg) pass.seg_inputs[s] = h;  // recompute restarts here
+      for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i)
+        h = atoms_[i]->forward(h, train);
+      if (!final_seg) drop_caches_range(bounds[s], bounds[s + 1]);
+    }
+    ckpt_pass_ = std::move(pass);
+    return h;
+  }
   Tensor h = x;
   for (std::size_t i = begin; i < end; ++i) h = atoms_[i]->forward(h, train);
   return h;
@@ -64,6 +123,37 @@ Tensor BuiltModel::backward_range(std::size_t begin, std::size_t end,
                                   const Tensor& grad) {
   if (begin > end || end > atoms_.size())
     throw std::invalid_argument("backward_range: bad range");
+  if (ckpt_pass_ && ckpt_pass_->begin == begin && ckpt_pass_->end == end) {
+    const auto bounds = segment_bounds(end);
+    Tensor g = grad;
+    for (std::size_t s = bounds.size() - 1; s-- > 0;) {
+      const bool final_seg = s + 2 == bounds.size();
+      if (!final_seg) {
+        // Recompute the segment's forward from its stored input to rebuild
+        // the dropped caches. Batch statistics are recomputed identically;
+        // running-stat updates are suppressed (the original forward already
+        // applied them) and each BN's tracking flag is restored afterwards.
+        std::vector<std::pair<nn::BatchNorm2d*, bool>> saved;
+        for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i)
+          atoms_[i]->for_each_bn([&saved](nn::BatchNorm2d& bn) {
+            saved.emplace_back(&bn, bn.track_stats());
+            bn.set_track_stats(false);
+          });
+        Tensor h = std::move(ckpt_pass_->seg_inputs[s]);
+        ckpt_pass_->seg_inputs[s] = Tensor();
+        for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i)
+          h = atoms_[i]->forward(h, ckpt_pass_->train);
+        for (auto& [bn, flag] : saved) bn->set_track_stats(flag);
+      }
+      for (std::size_t i = bounds[s + 1]; i-- > bounds[s];)
+        g = atoms_[i]->backward(g);
+      // One segment's caches resident at a time: release before recomputing
+      // the next (earlier) segment.
+      drop_caches_range(bounds[s], bounds[s + 1]);
+    }
+    ckpt_pass_.reset();
+    return g;
+  }
   Tensor g = grad;
   for (std::size_t i = end; i > begin; --i) g = atoms_[i - 1]->backward(g);
   return g;

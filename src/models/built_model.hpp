@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
@@ -45,6 +46,26 @@ class BuiltModel {
     return forward_range(0, atoms_.size(), x, train);
   }
 
+  // ---- activation checkpointing (mem subsystem, DESIGN.md §6) --------------
+  /// Partitions forward/backward traversals of the range starting at
+  /// `segment_starts.front()` into drop-and-recompute segments: a non-final
+  /// segment's layer caches are dropped after its forward and rebuilt (with
+  /// BN running-stat updates suppressed) when its backward needs them, so
+  /// gradients are bit-identical to plain execution while only one segment's
+  /// caches are ever resident. Applies to every matching
+  /// forward_range/backward_range pair until cleared. Empty vector = off.
+  void set_checkpoint_segments(std::vector<std::size_t> segment_starts);
+  bool checkpointing() const { return !ckpt_starts_.empty(); }
+
+  /// Forward through atoms [begin, end), releasing each atom's caches right
+  /// after its output is produced — the frozen-prefix forward of cascade
+  /// training, which never runs a backward (budget-aware execution only).
+  Tensor forward_range_nocache(std::size_t begin, std::size_t end,
+                               const Tensor& x, bool train);
+
+  /// Releases the caches/scratch of atoms [begin, end).
+  void drop_caches_range(std::size_t begin, std::size_t end);
+
   std::vector<Tensor*> parameters_range(std::size_t begin, std::size_t end);
   std::vector<Tensor*> gradients_range(std::size_t begin, std::size_t end);
   void zero_grad_range(std::size_t begin, std::size_t end);
@@ -67,8 +88,19 @@ class BuiltModel {
   std::int64_t param_count();
 
  private:
+  /// One checkpointed forward/backward pass in flight.
+  struct CkptPass {
+    std::size_t begin = 0, end = 0;
+    bool train = false;
+    std::vector<Tensor> seg_inputs;  ///< input of each non-final segment
+  };
+  bool ckpt_matches(std::size_t begin, std::size_t end) const;
+  std::vector<std::size_t> segment_bounds(std::size_t end) const;
+
   sys::ModelSpec spec_;
   std::vector<nn::LayerPtr> atoms_;
+  std::vector<std::size_t> ckpt_starts_;
+  std::optional<CkptPass> ckpt_pass_;
 };
 
 }  // namespace fp::models

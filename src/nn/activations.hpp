@@ -9,6 +9,7 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override { cached_mask_ = Tensor(); }
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -20,6 +21,7 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override { cached_shape_.clear(); }
   std::string name() const override { return "Flatten"; }
 
  private:

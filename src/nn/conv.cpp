@@ -130,6 +130,13 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void Conv2d::drop_cached_activations() {
+  cached_input_ = Tensor();
+  Scratch().swap(scratch_cols_);
+  Scratch().swap(scratch_iocols_);
+  Scratch().swap(scratch_grad_cols_);
+}
+
 std::vector<Tensor*> Conv2d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};

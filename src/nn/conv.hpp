@@ -20,6 +20,7 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override;
 
   std::vector<Tensor*> parameters() override;
   std::vector<Tensor*> gradients() override;
@@ -44,12 +45,14 @@ class Conv2d final : public Layer {
   Tensor grad_bias_;
   Tensor cached_input_; ///< NCHW input from the last forward
 
-  // Grow-only scratch arenas reused across forward/backward calls (a model
+  // Grow-only scratch buffers reused across forward/backward calls (a model
   // instance is only ever driven by one thread at a time). Not part of the
-  // layer's parameter/buffer state.
-  std::vector<float> scratch_cols_;    ///< im2col of the minibatch [rows, N*oh*ow]
-  std::vector<float> scratch_iocols_;  ///< output/grad-output as [out_c, N*oh*ow]
-  std::vector<float> scratch_grad_cols_;
+  // layer's parameter/buffer state. Tracked so training-time high-water
+  // measurements see them (mem subsystem).
+  using Scratch = std::vector<float, mem::TrackedAlloc<float>>;
+  Scratch scratch_cols_;    ///< im2col of the minibatch [rows, N*oh*ow]
+  Scratch scratch_iocols_;  ///< output/grad-output as [out_c, N*oh*ow]
+  Scratch scratch_grad_cols_;
 };
 
 }  // namespace fp::nn

@@ -42,6 +42,12 @@ class Layer {
     for (auto* g : gradients()) g->zero_();
   }
 
+  /// Releases every forward-time cache and scratch buffer (activation
+  /// checkpointing drops a segment's caches after its forward and recomputes
+  /// them for the backward; see DESIGN.md §6). After a drop, backward() is
+  /// invalid until the next forward(). Default: nothing cached.
+  virtual void drop_cached_activations() {}
+
   /// Visits every BatchNorm2d nested in this layer (bank switching, stat
   /// freezing). Default: none.
   virtual void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) {

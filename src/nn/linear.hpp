@@ -14,6 +14,10 @@ class Linear final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override {
+    cached_input_ = Tensor();
+    cached_input_shape_.clear();
+  }
 
   std::vector<Tensor*> parameters() override;
   std::vector<Tensor*> gradients() override;

@@ -24,6 +24,10 @@ class LoRaLinear final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override {
+    cached_input_ = Tensor();
+    cached_ax_ = Tensor();
+  }
 
   /// Only the adapter factors are trainable.
   std::vector<Tensor*> parameters() override { return {&a_, &b_}; }

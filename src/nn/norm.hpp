@@ -19,6 +19,11 @@ class BatchNorm2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override {
+    cached_xhat_ = Tensor();
+    cached_inv_std_ = Tensor();
+    cached_shape_.clear();
+  }
 
   std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> gradients() override { return {&grad_gamma_, &grad_beta_}; }

@@ -11,6 +11,10 @@ class MaxPool2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override {
+    Argmax().swap(cached_argmax_);
+    cached_shape_.clear();
+  }
   std::string name() const override { return "MaxPool2d"; }
 
   std::int64_t kernel() const { return kernel_; }
@@ -18,7 +22,10 @@ class MaxPool2d final : public Layer {
 
  private:
   std::int64_t kernel_, stride_;
-  std::vector<std::int64_t> cached_argmax_;  ///< flat input index per output cell
+  /// Tracked (mem subsystem): the argmax routing table is the layer's whole
+  /// activation cache and must show up in training-time peak measurements.
+  using Argmax = std::vector<std::int64_t, mem::TrackedAlloc<std::int64_t>>;
+  Argmax cached_argmax_;  ///< flat input index per output cell
   std::vector<std::int64_t> cached_shape_;
 };
 
@@ -27,6 +34,7 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  void drop_cached_activations() override { cached_shape_.clear(); }
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:

@@ -25,6 +25,9 @@ class Sequential final : public Layer {
   void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) override {
     for (auto& layer : layers_) layer->for_each_bn(fn);
   }
+  void drop_cached_activations() override {
+    for (auto& layer : layers_) layer->drop_cached_activations();
+  }
   std::string name() const override { return "Sequential"; }
 
  private:
@@ -54,6 +57,11 @@ class BasicBlock final : public Layer {
   void for_each_bn(const std::function<void(BatchNorm2d&)>& fn) override {
     main_.for_each_bn(fn);
     if (shortcut_) shortcut_->for_each_bn(fn);
+  }
+  void drop_cached_activations() override {
+    main_.drop_cached_activations();
+    if (shortcut_) shortcut_->drop_cached_activations();
+    cached_sum_mask_ = Tensor();
   }
 
   /// Structural access for sub-model extraction (channel slicing).

@@ -1,5 +1,6 @@
 #include "sysmodel/cost_model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fp::sys {
@@ -70,14 +71,25 @@ StepCost train_step_cost(const ModelSpec& model, std::size_t begin, std::size_t 
       module_forward_macs(model, 0, begin, cfg.batch_size, false));
   // PGD-n: n attack iterations (forward + input-gradient backward) plus the
   // final parameter-update forward + backward. Standard training: 1 + 1.
+  // Activation checkpointing adds recompute_fwd_frac of the forward to every
+  // traversal (the drop-and-recompute passes of DESIGN.md §6).
   const int passes = cfg.pgd_steps + 1;
   cost.compute_flops =
-      cfg.flops_scale * (prefix_fwd + passes * fwd * (1.0 + cfg.backward_factor));
+      cfg.flops_scale *
+      (prefix_fwd +
+       passes * fwd * (1.0 + cfg.backward_factor + cfg.recompute_fwd_frac));
 
-  const auto mem = static_cast<std::int64_t>(
-      cfg.mem_scale *
-      static_cast<double>(module_train_mem_bytes(model, begin, end,
-                                                 cfg.batch_size, with_aux_head)));
+  // Swap decision: the mem planner's measured-plane peak (when provided)
+  // against the device availability capped by the enforced budget.
+  const auto mem =
+      cfg.planned_mem_bytes > 0
+          ? cfg.planned_mem_bytes
+          : static_cast<std::int64_t>(
+                cfg.mem_scale *
+                static_cast<double>(module_train_mem_bytes(
+                    model, begin, end, cfg.batch_size, with_aux_head)));
+  if (cfg.budget_mem_bytes > 0)
+    avail_mem_bytes = std::min(avail_mem_bytes, cfg.budget_mem_bytes);
   if (mem > avail_mem_bytes) {
     const double excess = static_cast<double>(mem - avail_mem_bytes);
     // Every forward and every backward traversal must stream the excess

@@ -29,6 +29,17 @@ struct TrainCostConfig {
   double mem_scale = 1.0;
   /// Scales the compute FLOPs (width-r slice: about r^2 the MACs).
   double flops_scale = 1.0;
+
+  // ---- measured-plane overrides (mem subsystem, DESIGN.md §6) --------------
+  /// When > 0, replaces the analytic module memory requirement in the swap
+  /// decision with the mem planner's peak (same byte scale as the spec this
+  /// cost is priced on). 0 = analytic model (historical behaviour).
+  std::int64_t planned_mem_bytes = 0;
+  /// When > 0, the client trains under min(device availability, budget).
+  std::int64_t budget_mem_bytes = 0;
+  /// Fraction of the module forward re-executed per traversal by activation
+  /// checkpointing — priced as extra forward FLOPs instead of swap traffic.
+  double recompute_fwd_frac = 0.0;
 };
 
 /// Memory (bytes) to train atoms [begin, end) of `model` plus an auxiliary

@@ -49,7 +49,7 @@ Tensor Tensor::from_vector(std::vector<std::int64_t> shape, std::vector<float> v
   Tensor t;
   t.shape_ = std::move(shape);
   t.numel_ = static_cast<std::int64_t>(values.size());
-  t.data_ = std::move(values);
+  t.data_.assign(values.begin(), values.end());
   return t;
 }
 

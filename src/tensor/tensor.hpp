@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/arena.hpp"
 #include "tensor/rng.hpp"
 
 namespace fp {
@@ -103,7 +104,11 @@ class Tensor {
   void check_same_shape(const Tensor& other, const char* op) const;
   std::vector<std::int64_t> shape_;
   std::int64_t numel_ = 0;
-  std::vector<float> data_;
+  /// Storage routes through the memory subsystem: inside a training-time
+  /// mem::ClientMemScope it comes from the bound arena (and is counted
+  /// against the client's budget), otherwise it is a plain aligned heap
+  /// allocation.
+  std::vector<float, mem::TrackedAlloc<float>> data_;
 };
 
 }  // namespace fp

@@ -267,15 +267,17 @@ TEST(RoundEngine, PersistentDeviceBindingKeepsClientOnItsDevice) {
 
 TEST(HistoryIo, CsvRoundTripsRecords) {
   fed::History h;
-  h.push_back({5, 0.5, 0.25, 12.5, 0.01, 1024, 4096});
-  h.push_back({10, 0.625, 0.375, 30.0, 0.02, 2048, 8192});
+  h.push_back({5, 0.5, 0.25, 12.5, 0.01, 1024, 4096, 777});
+  h.push_back({10, 0.625, 0.375, 30.0, 0.02, 2048, 8192, 888});
   const auto dir = std::filesystem::temp_directory_path() / "fp_history_io";
   const auto path = (dir / "m.csv").string();
   ASSERT_TRUE(fed::write_history_csv(path, h));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,extra");
+  EXPECT_EQ(line,
+            "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,"
+            "peak_mem_bytes,extra");
   int rows = 0;
   std::string first_row;
   while (std::getline(in, line))
@@ -284,8 +286,8 @@ TEST(HistoryIo, CsvRoundTripsRecords) {
       ++rows;
     }
   EXPECT_EQ(rows, 2);
-  EXPECT_NE(first_row.find(",1024,4096,"), std::string::npos)
-      << "per-round byte counts missing from CSV row: " << first_row;
+  EXPECT_NE(first_row.find(",1024,4096,777,"), std::string::npos)
+      << "per-round byte + peak-mem counts missing from CSV row: " << first_row;
 
   const auto jpath = (dir / "m.json").string();
   ASSERT_TRUE(fed::write_history_json(jpath, "FedProphet", h));
@@ -295,6 +297,7 @@ TEST(HistoryIo, CsvRoundTripsRecords) {
                          std::istreambuf_iterator<char>());
   EXPECT_NE(json.find("\"bytes_up\": 1024"), std::string::npos);
   EXPECT_NE(json.find("\"bytes_down\": 8192"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_mem_bytes\": 777"), std::string::npos);
   EXPECT_EQ(fed::sanitize_filename("jFAT (fast/42)"), "jFAT__fast_42_");
   std::filesystem::remove_all(dir);
 }
