@@ -3,6 +3,9 @@
 // LoRA-style low-rank adaptation — compose with FedProphet's module
 // partitioning. For each combination we report the largest-module training
 // memory of VGG16/ResNet34 and the module count at the paper's Rmin.
+//
+// The workload rows are data: each names its paper-shape backbone by model
+// registry key and is instantiated through exp::model_registry().
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -12,31 +15,41 @@
 namespace {
 using namespace fp;
 
-void report(const char* title, const sys::ModelSpec& spec, std::int64_t rmin,
-            std::int64_t batch) {
-  std::printf("-- %s (Rmin = %.0f MB, B = %lld) --\n", title,
-              static_cast<double>(rmin) / (1 << 20),
-              static_cast<long long>(batch));
+struct AblationRow {
+  const char* title;
+  const char* model;        ///< exp model registry key
+  std::int64_t image, classes;
+  std::int64_t rmin, batch;
+};
+
+void report(const AblationRow& row) {
+  const exp::ModelParams params{row.image, row.classes, /*width=*/0};
+  const auto spec = exp::model_registry().resolve(row.model)(params);
+  std::printf("-- %s (Rmin = %.0f MB, B = %lld) --\n", row.title,
+              static_cast<double>(row.rmin) / (1 << 20),
+              static_cast<long long>(row.batch));
   std::printf("%-26s %10s %12s %9s\n", "configuration", "full mem",
               "largest mod", "modules");
-  const auto partition = cascade::partition_model(spec, rmin, batch);
+  const auto partition = cascade::partition_model(spec, row.rmin, row.batch);
   for (const int bits : {32, 16, 8}) {
-    const auto full =
-        nn::low_bit_mem_bytes(spec, 0, spec.atoms.size(), batch, false, bits);
+    const auto full = nn::low_bit_mem_bytes(spec, 0, spec.atoms.size(),
+                                            row.batch, false, bits);
     std::int64_t peak = 0;
     for (std::size_t m = 0; m < partition.num_modules(); ++m) {
       const auto& mod = partition.modules[m];
       peak = std::max(peak, nn::low_bit_mem_bytes(spec, mod.begin, mod.end,
-                                                  batch, !mod.is_last, bits));
+                                                  row.batch, !mod.is_last, bits));
     }
     // Low-bit also lets the partitioner pack more atoms per module: repartition
     // under the scaled budget for the module count column.
     // (Approximate: scale Rmin by the inverse memory ratio.)
-    const auto baseline =
-        sys::module_train_mem_bytes(spec, 0, spec.atoms.size(), batch, false);
+    const auto baseline = sys::module_train_mem_bytes(spec, 0, spec.atoms.size(),
+                                                      row.batch, false);
     const double ratio = static_cast<double>(full) / static_cast<double>(baseline);
     const auto repart = cascade::partition_model(
-        spec, static_cast<std::int64_t>(static_cast<double>(rmin) / ratio), batch);
+        spec,
+        static_cast<std::int64_t>(static_cast<double>(row.rmin) / ratio),
+        row.batch);
     char label[64];
     std::snprintf(label, sizeof(label), "FedProphet + int%d", bits);
     std::printf("%-26s %7.0f MB %9.0f MB %9zu\n",
@@ -53,10 +66,17 @@ void report(const char* title, const sys::ModelSpec& spec, std::int64_t rmin,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(
+          argc, argv, "bench_ablation_extensions",
+          "low-bit x cascade partitioning extension ablation");
+      rc >= 0)
+    return rc;
   std::printf("=== Extension ablation: low-bit x cascade partitioning ===\n\n");
-  report("VGG16 on CIFAR-10", models::vgg16_spec(32, 10), 60ll << 20, 64);
-  report("ResNet34 on Caltech-256", models::resnet34_spec(224, 256), 224ll << 20,
-         32);
+  const AblationRow rows[] = {
+      {"VGG16 on CIFAR-10", "vgg16", 32, 10, 60ll << 20, 64},
+      {"ResNet34 on Caltech-256", "resnet34", 224, 256, 224ll << 20, 32},
+  };
+  for (const auto& row : rows) report(row);
   return 0;
 }

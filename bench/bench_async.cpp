@@ -8,10 +8,9 @@
 // same fleet — sync, async, async + straggler cutoff, async + dropout — with
 // a matched client-update budget (one sync round = C async aggregation
 // events), then reports final accuracy, total simulated wall-clock, and
-// time-to-accuracy. The fleet uses the persistent per-client device binding
-// (client k keeps its device across rounds, as in the paper's setup).
-//
-// Set FP_BENCH_OUT=<dir> to export every trajectory as CSV for diffing.
+// time-to-accuracy. Each schedule is a declarative spec delta over the same
+// base scenario (persistent client-device binding, as in the paper's setup),
+// run through the shared exp:: experiment pipeline.
 #include <vector>
 
 #include "bench_common.hpp"
@@ -21,15 +20,7 @@ namespace {
 
 struct Scenario {
   const char* label;
-  fed::SchedulerKind scheduler;
-  double straggler_cutoff_s = 0.0;
-  double dropout_prob = 0.0;
-};
-
-struct ScenarioResult {
-  const char* label;
-  MethodResult method;
-  std::size_t dropped = 0;
+  std::vector<const char*> overrides;  ///< spec deltas defining the schedule
 };
 
 /// First simulated second at which clean accuracy reached `target` (<0 = never).
@@ -39,91 +30,61 @@ double time_to_accuracy(const fed::History& h, double target) {
   return -1.0;
 }
 
-ScenarioResult run_scenario(const Scenario& sc, Workload w) {
-  // A fresh env per scenario: every schedule sees the same data partition,
+MethodResult run_async_scenario(const Scenario& sc) {
+  // A fresh spec per scenario: every schedule sees the same data partition,
   // fleet binding, and degradation streams.
-  auto setup = make_setup(w, sys::Heterogeneity::kBalanced);
-  fed::FedEnvConfig ecfg;
-  ecfg.fl = setup.fl;
-  ecfg.with_public_set = true;
-  ecfg.cifar_pool = (w == Workload::kCifar);
-  ecfg.persistent_devices = true;
-  const sys::ModelSpec paper_spec = w == Workload::kCifar
-                                        ? models::vgg16_spec(32, 10)
-                                        : models::resnet34_spec(224, 256);
-  setup.env = fed::make_env(setup.data, ecfg, paper_spec);
-
-  baselines::JFatConfig cfg;
-  cfg.fl = setup.fl;
-  cfg.fl.scheduler = sc.scheduler;
-  cfg.fl.async.straggler_cutoff_s = sc.straggler_cutoff_s;
-  cfg.fl.async.dropout_prob = sc.dropout_prob;
-  cfg.model_spec = setup.model;
-
+  exp::ExperimentSpec spec;
+  spec.method = "jFAT";
+  spec.persistent_devices = true;
+  for (const char* kv : sc.overrides) exp::apply_override(spec, kv);
   // Matched client-update budget: one sync barrier round trains C clients;
   // one async round applies a single update.
-  const std::int64_t sync_rounds = scaled(12);
-  std::int64_t eval_every = 3;
-  if (sc.scheduler == fed::SchedulerKind::kAsync) {
-    cfg.fl.rounds = sync_rounds * cfg.fl.clients_per_round;
-    eval_every *= cfg.fl.clients_per_round;
-  } else {
-    cfg.fl.rounds = sync_rounds;
-  }
-
-  ScenarioResult out;
-  out.label = sc.label;
-  baselines::JFat algo(setup.env, cfg);
-  algo.run(eval_every);
-  out.dropped = algo.total_stats().dropped_stragglers +
-                algo.total_stats().dropped_out;
-  out.method.name = std::string("jFAT-") + sc.label;
-  out.method.sim_time = algo.sim_time();
-  out.method.history = algo.history();
-  const auto eval_cfg = bench_eval_config(setup.fl.epsilon0);
-  out.method.metrics =
-      attack::evaluate_robustness(algo.global_model(), setup.env.test, eval_cfg);
-  fed::export_history_if_requested(out.method.name, algo.history());
-  return out;
+  apply_matched_budget(spec, scaled(12));
+  return run_scenario(std::move(spec), std::string("jFAT-") + sc.label);
 }
 
 }  // namespace
 }  // namespace fp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
+  if (const int rc = parse_bench_args(
+          argc, argv, "bench_async",
+          "async-vs-sync scheduling: time-to-accuracy on the device fleet");
+      rc >= 0)
+    return rc;
   const Scenario scenarios[] = {
-      {"sync", fp::fed::SchedulerKind::kSync},
-      {"async", fp::fed::SchedulerKind::kAsync},
+      {"sync", {"fl.scheduler=sync"}},
+      {"async", {"fl.scheduler=async"}},
       // The scaled-down fleet finishes a local round in ~1 s at the slowest;
       // a 0.5 s budget actually discards the slow tail.
-      {"async-cutoff", fp::fed::SchedulerKind::kAsync, /*cutoff=*/0.5},
-      {"async-dropout", fp::fed::SchedulerKind::kAsync, 0.0, /*dropout=*/0.2},
+      {"async-cutoff", {"fl.scheduler=async", "async.straggler_cutoff_s=0.5"}},
+      {"async-dropout", {"fl.scheduler=async", "async.dropout_prob=0.2"}},
   };
 
   std::printf("=== Async vs sync scheduling: time-to-accuracy ===\n\n");
-  const auto w = Workload::kCifar;
   std::printf("-- %s, balanced fleet, persistent client-device binding --\n",
-              workload_name(w));
+              workload_name(Workload::kCifar));
   std::printf("%-14s %10s %10s %8s %8s %8s %14s\n", "schedule", "Clean",
               "PGD-10", "sim (s)", "access%", "dropped", "t@0.9*final");
 
-  std::vector<ScenarioResult> results;
-  for (const auto& sc : scenarios) results.push_back(run_scenario(sc, w));
+  std::vector<MethodResult> results;
+  for (const auto& sc : scenarios) results.push_back(run_async_scenario(sc));
 
   // Time-to-accuracy target: 90% of the sync run's final clean accuracy,
   // taken from its own history so target and trajectories share the same
   // evaluation subsample.
-  const auto& sync_history = results.front().method.history;
+  const auto& sync_history = results.front().history;
   const double target =
       sync_history.empty() ? 1.0 : 0.9 * sync_history.back().clean_acc;
-  for (const auto& r : results) {
-    const double total = r.method.sim_time.total();
-    const double tta = time_to_accuracy(r.method.history, target);
-    std::printf("%-14s %9.1f%% %9.1f%% %8.1f %7.1f%% %8zu ", r.label,
-                100 * r.method.metrics.clean_acc, 100 * r.method.metrics.pgd_acc,
-                total, total > 0 ? 100 * r.method.sim_time.access_s / total : 0.0,
-                r.dropped);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double total = r.sim_time.total();
+    const double tta = time_to_accuracy(r.history, target);
+    std::printf("%-14s %9.1f%% %9.1f%% %8.1f %7.1f%% %8zu ",
+                scenarios[i].label, 100 * r.metrics.clean_acc,
+                100 * r.metrics.pgd_acc, total,
+                total > 0 ? 100 * r.sim_time.access_s / total : 0.0, r.dropped);
     if (tta >= 0)
       std::printf("%13.1fs\n", tta);
     else
@@ -132,6 +93,6 @@ int main() {
   }
   std::printf(
       "\nasync rounds apply one staleness-weighted update each; budgets are\n"
-      "matched at C updates per sync round. FP_BENCH_OUT=<dir> exports CSVs.\n");
+      "matched at C updates per sync round.\n");
   return 0;
 }

@@ -4,32 +4,22 @@
 // channel with the network model ENABLED, so round times include each
 // client's download + upload over its degraded link and straggler cutoffs
 // judge the full round-trip. Sweeps the four wire codecs under both the sync
-// barrier and the async event-driven scheduler and reports the new
+// barrier and the async event-driven scheduler and reports the
 // accuracy-vs-bytes tradeoff axis: final accuracy, cumulative wire traffic,
 // simulated wall-clock (with the comm share), and the uploaded bytes needed
 // to reach a matched accuracy target (0.9x the identity-sync final clean
 // accuracy — the codec pays for itself when it reaches the same target on
 // fewer bytes).
 //
-// Set FP_BENCH_OUT=<dir> to export every trajectory (with per-round byte
-// counts) as CSV for diffing.
+// Every cell is one declarative spec (bench_common::comm_scenario_spec); the
+// shipped configs/bench_comm_int8_sync.json is the resolved int8+sync cell,
+// reproducible standalone via `fp_run --config`.
 #include <vector>
 
 #include "bench_common.hpp"
 
 namespace fp::bench {
 namespace {
-
-struct Scenario {
-  const char* label;
-  comm::CodecKind codec;
-  fed::SchedulerKind scheduler;
-};
-
-struct ScenarioResult {
-  const char* label;
-  MethodResult method;
-};
 
 /// Cumulative uploaded bytes at the first snapshot reaching `target` clean
 /// accuracy (<0 = never reached).
@@ -39,108 +29,67 @@ double bytes_to_accuracy(const fed::History& h, double target) {
   return -1.0;
 }
 
-ScenarioResult run_scenario(const Scenario& sc, Workload w) {
-  // A fresh env per scenario: every codec/scheduler pair sees the same data
-  // partition, fleet binding, and degradation streams.
-  auto setup = make_setup(w, sys::Heterogeneity::kBalanced);
-  fed::FedEnvConfig ecfg;
-  ecfg.fl = setup.fl;
-  ecfg.with_public_set = true;
-  ecfg.cifar_pool = (w == Workload::kCifar);
-  ecfg.persistent_devices = true;
-  const sys::ModelSpec paper_spec = w == Workload::kCifar
-                                        ? models::vgg16_spec(32, 10)
-                                        : models::resnet34_spec(224, 256);
-  setup.env = fed::make_env(setup.data, ecfg, paper_spec);
-
-  baselines::JFatConfig cfg;
-  cfg.fl = setup.fl;
-  cfg.fl.scheduler = sc.scheduler;
-  cfg.fl.comm.codec = sc.codec;
-  cfg.fl.comm.topk_fraction = 0.1;  // ship the top 10% of coordinates
-  cfg.fl.comm.topk_delta = true;    // selected by |update - broadcast|
-  cfg.fl.comm.model_network = true;
-  cfg.model_spec = setup.model;
-
-  // Matched client-update budget: one sync barrier round trains C clients;
-  // one async round applies a single update.
-  const std::int64_t sync_rounds = scaled(12);
-  std::int64_t eval_every = 3;
-  if (sc.scheduler == fed::SchedulerKind::kAsync) {
-    cfg.fl.rounds = sync_rounds * cfg.fl.clients_per_round;
-    eval_every *= cfg.fl.clients_per_round;
-  } else {
-    cfg.fl.rounds = sync_rounds;
-  }
-
-  ScenarioResult out;
-  out.label = sc.label;
-  baselines::JFat algo(setup.env, cfg);
-  algo.run(eval_every);
-  out.method.name = std::string("jFAT-comm-") + sc.label;
-  out.method.sim_time = algo.sim_time();
-  out.method.history = algo.history();
-  out.method.bytes_up = algo.total_stats().bytes_up;
-  out.method.bytes_down = algo.total_stats().bytes_down;
-  const auto eval_cfg = bench_eval_config(setup.fl.epsilon0);
-  out.method.metrics =
-      attack::evaluate_robustness(algo.global_model(), setup.env.test, eval_cfg);
-  fed::export_history_if_requested(out.method.name, algo.history());
-  print_comm_summary(out.method, cfg.fl);
-  return out;
-}
-
 }  // namespace
 }  // namespace fp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
-  using fp::comm::CodecKind;
-  using fp::fed::SchedulerKind;
+  if (const int rc = parse_bench_args(
+          argc, argv, "bench_comm",
+          "wire codecs x schedulers: accuracy vs uploaded bytes");
+      rc >= 0)
+    return rc;
+  struct Scenario {
+    const char* codec;
+    const char* scheduler;
+  };
   const Scenario scenarios[] = {
-      {"identity-sync", CodecKind::kIdentity, SchedulerKind::kSync},
-      {"fp16-sync", CodecKind::kFp16, SchedulerKind::kSync},
-      {"int8-sync", CodecKind::kInt8, SchedulerKind::kSync},
-      {"topk-sync", CodecKind::kTopK, SchedulerKind::kSync},
-      {"identity-async", CodecKind::kIdentity, SchedulerKind::kAsync},
-      {"fp16-async", CodecKind::kFp16, SchedulerKind::kAsync},
-      {"int8-async", CodecKind::kInt8, SchedulerKind::kAsync},
-      {"topk-async", CodecKind::kTopK, SchedulerKind::kAsync},
+      {"identity", "sync"},  {"fp16", "sync"},  {"int8", "sync"},
+      {"topk", "sync"},      {"identity", "async"}, {"fp16", "async"},
+      {"int8", "async"},     {"topk", "async"},
   };
 
   std::printf("=== Wire codecs x schedulers: accuracy vs bytes ===\n\n");
-  const auto w = Workload::kCifar;
   std::printf("-- %s, balanced fleet, persistent binding, network model on --\n",
-              workload_name(w));
+              workload_name(Workload::kCifar));
 
-  std::vector<ScenarioResult> results;
-  for (const auto& sc : scenarios) results.push_back(run_scenario(sc, w));
+  std::vector<MethodResult> results;
+  std::vector<std::string> labels;
+  for (const auto& sc : scenarios) {
+    // A fresh spec per cell: every codec/scheduler pair sees the same data
+    // partition, fleet binding, and degradation streams.
+    labels.push_back(std::string(sc.codec) + "-" + sc.scheduler);
+    auto spec = comm_scenario_spec(sc.codec, sc.scheduler);
+    const fp::fed::FlConfig fl = spec.fl;
+    auto r = run_scenario(std::move(spec), "jFAT-comm-" + labels.back());
+    print_comm_summary(r, fl);
+    results.push_back(std::move(r));
+  }
 
   // Matched accuracy target: 90% of the uncompressed sync run's final clean
   // accuracy, from its own history so target and trajectories share the same
   // evaluation subsample.
-  const auto& base_history = results.front().method.history;
+  const auto& base_history = results.front().history;
   const double target =
       base_history.empty() ? 1.0 : 0.9 * base_history.back().clean_acc;
   const double base_up[2] = {
-      static_cast<double>(results[0].method.bytes_up),   // sync baseline
-      static_cast<double>(results[4].method.bytes_up)};  // async baseline
+      static_cast<double>(results[0].bytes_up),   // sync baseline
+      static_cast<double>(results[4].bytes_up)};  // async baseline
 
   std::printf("\n%-16s %8s %8s %10s %8s %9s %9s %7s %14s\n", "scenario",
               "Clean", "PGD-10", "sim (s)", "comm%", "up (MB)", "down (MB)",
               "up x", "upB@target");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    const double total = r.method.sim_time.total();
-    const double up = static_cast<double>(r.method.bytes_up);
+    const double total = r.sim_time.total();
+    const double up = static_cast<double>(r.bytes_up);
     const double ratio = up > 0 ? base_up[i / 4] / up : 0.0;
-    const double at_target = bytes_to_accuracy(r.method.history, target);
+    const double at_target = bytes_to_accuracy(r.history, target);
     std::printf("%-16s %7.1f%% %7.1f%% %10.1f %7.1f%% %9.2f %9.2f %6.1fx ",
-                r.label, 100 * r.method.metrics.clean_acc,
-                100 * r.method.metrics.pgd_acc, total,
-                total > 0 ? 100 * r.method.sim_time.comm_s / total : 0.0,
-                up / 1e6, static_cast<double>(r.method.bytes_down) / 1e6,
-                ratio);
+                labels[i].c_str(), 100 * r.metrics.clean_acc,
+                100 * r.metrics.pgd_acc, total,
+                total > 0 ? 100 * r.sim_time.comm_s / total : 0.0, up / 1e6,
+                static_cast<double>(r.bytes_down) / 1e6, ratio);
     if (at_target >= 0)
       std::printf("%11.2f MB\n", at_target / 1e6);
     else
@@ -150,8 +99,7 @@ int main() {
   std::printf(
       "\n'up x' is the uploaded-byte reduction vs the identity codec under\n"
       "the same scheduler; 'upB@target' is the cumulative upload needed to\n"
-      "reach %.1f%% clean accuracy (0.9x the identity-sync final).\n"
-      "FP_BENCH_OUT=<dir> exports trajectories with per-round byte counts.\n",
+      "reach %.1f%% clean accuracy (0.9x the identity-sync final).\n",
       100 * target);
   return 0;
 }

@@ -2,8 +2,11 @@
 //
 // Two planes (DESIGN.md §1):
 //  * Accuracy plane — real federated training of Tiny models on synthetic
-//    data. `BenchSetup` builds the dataset/environment; `run_method` trains
-//    any of the paper's eight methods and evaluates Clean/PGD/AA.
+//    data, driven entirely by the declarative experiment API (src/exp/):
+//    `make_setup` builds an exp::Setup from an ExperimentSpec, `run_method`
+//    resolves any of the paper's eight methods from the method registry and
+//    trains/evaluates it, and `run_scenario` runs one spec end to end — the
+//    same path the `fp_run` CLI uses.
 //  * Systems plane — `simulate_training_time` replays each method's
 //    per-round device work on the paper's exact VGG16/ResNet34 shapes and
 //    round protocols, producing the latency/memory numbers analytically
@@ -16,145 +19,52 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "attack/evaluate.hpp"
-#include "fed/history_io.hpp"
-#include "mem/planner.hpp"
 #include "baselines/distillation.hpp"
 #include "baselines/fedrbn.hpp"
 #include "baselines/jfat.hpp"
 #include "baselines/partial_training.hpp"
 #include "data/synthetic.hpp"
+#include "exp/runner.hpp"
+#include "fed/history_io.hpp"
 #include "fedprophet/fedprophet.hpp"
 #include "models/zoo.hpp"
 
 namespace fp::bench {
 
-inline bool fast_mode() {
-  const char* v = std::getenv("FP_BENCH_FAST");
-  return v != nullptr && v[0] == '1';
-}
-
-inline std::int64_t scaled(std::int64_t n) { return fast_mode() ? (n + 3) / 4 : n; }
+using exp::fast_mode;
+using exp::scaled;
 
 enum class Workload { kCifar, kCaltech };
+
+inline const char* workload_key(Workload w) {
+  return w == Workload::kCifar ? "cifar" : "caltech";
+}
 
 inline const char* workload_name(Workload w) {
   return w == Workload::kCifar ? "CIFAR-10 (synthetic)" : "Caltech-256 (synthetic)";
 }
 
-/// Everything an accuracy-plane run needs.
-struct BenchSetup {
-  Workload workload = Workload::kCifar;
-  data::TrainTest data;
-  fed::FlConfig fl;
-  fed::FedEnv env;
-  sys::ModelSpec model;        ///< trainable backbone (TinyVGG / TinyResNet)
-  sys::ModelSpec small_model;  ///< "small" baseline (TinyCNN)
-  std::vector<sys::ModelSpec> kd_family;
-  std::int64_t full_mem = 0;   ///< full trainable-model training memory
-  double device_mem_scale = 1.0;
-  std::int64_t rmin = 0;       ///< 20% of full, as in the paper
-};
+/// Everything an accuracy-plane run needs (see exp::Setup).
+using BenchSetup = exp::Setup;
+using MethodResult = exp::RunResult;
 
-inline BenchSetup make_setup(Workload w, sys::Heterogeneity het) {
-  BenchSetup s;
-  s.workload = w;
-  data::SyntheticConfig dcfg =
-      w == Workload::kCifar ? data::synth_cifar_config()
-                            : data::synth_caltech_config();
-  dcfg.train_size = scaled(w == Workload::kCifar ? 1600 : 1280);
-  dcfg.test_size = 320;
-  s.data = data::make_synthetic(dcfg);
+/// Builds the historical bench scenario for a workload/heterogeneity pair,
+/// with optional spec overrides ("model.name=tiny_cnn", "fl.batch_size=32", ...)
+/// applied before resolution.
+BenchSetup make_setup(Workload w, sys::Heterogeneity het,
+                      const std::vector<std::string>& overrides = {});
 
-  s.fl.num_clients = 10;
-  s.fl.clients_per_round = 4;
-  s.fl.local_iters = fast_mode() ? 2 : 4;
-  s.fl.batch_size = 16;
-  s.fl.pgd_steps = 3;  // PGD-3 training at bench scale (paper: PGD-10)
-  s.fl.lr0 = 0.05f;
-  s.fl.sgd.lr = 0.05f;
-  s.fl.lr_decay = 0.99f;
-  s.fl.seed = 1234 + static_cast<std::uint64_t>(w == Workload::kCaltech) * 77 +
-              static_cast<std::uint64_t>(het == sys::Heterogeneity::kUnbalanced);
-
-  const std::int64_t classes = dcfg.num_classes;
-  s.model = w == Workload::kCifar ? models::tiny_vgg_spec(16, classes, 6)
-                                  : models::tiny_resnet_spec(16, classes, 6);
-  s.small_model = models::tiny_cnn_spec(16, classes, 6);
-  s.kd_family = {models::tiny_cnn_spec(16, classes, 6),
-                 w == Workload::kCifar ? models::tiny_vgg_spec(16, classes, 4)
-                                       : models::tiny_resnet_spec(16, classes, 5),
-                 s.model};
-
-  s.full_mem = sys::module_train_mem_bytes(s.model, 0, s.model.atoms.size(),
-                                           s.fl.batch_size, false);
-  // Map the GB-scale device fleet onto the KB-scale trainable model so that
-  // availability-to-model ratios match the paper's (avail / paper-model-mem).
-  const sys::ModelSpec paper_spec = w == Workload::kCifar
-                                        ? models::vgg16_spec(32, 10)
-                                        : models::resnet34_spec(224, 256);
-  const std::int64_t paper_batch = w == Workload::kCifar ? 64 : 32;
-  const auto paper_mem = sys::module_train_mem_bytes(
-      paper_spec, 0, paper_spec.atoms.size(), paper_batch, false);
-  s.device_mem_scale =
-      static_cast<double>(s.full_mem) / static_cast<double>(paper_mem);
-  s.rmin = s.full_mem / 5;  // Rmin ~ 20% of full, paper §7.2
-
-  fed::FedEnvConfig ecfg;
-  ecfg.fl = s.fl;
-  ecfg.with_public_set = true;
-  ecfg.heterogeneity = het;
-  ecfg.cifar_pool = (w == Workload::kCifar);
-  s.env = fed::make_env(s.data, ecfg, paper_spec);
-  return s;
+/// One communication-volume summary line per trained scenario.
+inline void print_comm_summary(const MethodResult& r, const fed::FlConfig& fl) {
+  exp::print_comm_line(r, fl);
 }
 
-struct MethodResult {
-  std::string name;
-  attack::RobustEvalResult metrics;
-  fed::TimeBreakdown sim_time;
-  fed::History history;  ///< accuracy/sim-time trajectory of the run
-  std::int64_t bytes_up = 0;    ///< cumulative wire bytes clients uploaded
-  std::int64_t bytes_down = 0;  ///< cumulative wire bytes clients downloaded
-  std::int64_t peak_mem_bytes = 0;  ///< max measured client peak (0 = mem off)
-  std::size_t over_budget = 0;      ///< budget violations across the run
-};
-
-/// One communication-volume summary line per trained scenario (satellite of
-/// the comm subsystem): what the run pushed over the simulated wire.
-inline void print_comm_summary(const MethodResult& r,
-                               const fed::FlConfig& fl) {
-  std::printf("    [comm] %-12s codec=%-8s up %8.2f MB  down %8.2f MB\n",
-              r.name.c_str(), comm::codec_name(fl.comm.codec),
-              static_cast<double>(r.bytes_up) / 1e6,
-              static_cast<double>(r.bytes_down) / 1e6);
-}
-
-/// One memory-plane summary line per trained scenario (mem subsystem). The
-/// printed plan is the FULL trainable backbone's training peak — a fixed
-/// scale reference for the sweep, not a per-method prediction (sub-model
-/// and cascade methods train less than the full backbone and measure
-/// accordingly below it).
+/// One memory-plane summary line per trained scenario.
 inline void print_mem_summary(const MethodResult& r, const BenchSetup& s) {
-  mem::PlanRequest req;
-  req.atom_begin = 0;
-  req.atom_end = s.model.atoms.size();
-  req.batch_size = s.fl.batch_size;
-  req.resident_extra_bytes = mem::replica_resident_bytes(
-      s.model, 0, s.model.atoms.size(), s.fl.batch_size, 0);
-  const auto plan = mem::plan_module_memory(s.model, req);
-  char measured[48];
-  if (r.peak_mem_bytes > 0)
-    std::snprintf(measured, sizeof(measured), "%8.2f MB",
-                  static_cast<double>(r.peak_mem_bytes) / 1e6);
-  else
-    std::snprintf(measured, sizeof(measured), "%10s", "off");
-  std::printf(
-      "    [mem]  %-12s full-plan %8.2f MB  measured %s  ckpt %-3s  "
-      "over-budget %zu\n",
-      r.name.c_str(), static_cast<double>(plan.peak_bytes) / 1e6, measured,
-      s.fl.mem.checkpointing ? "on" : "off", r.over_budget);
+  exp::print_mem_line(r, s);
 }
 
 inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
@@ -167,119 +77,39 @@ inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
   return e;
 }
 
-/// Trains one method end to end and evaluates the three paper metrics.
-/// Names: jFAT, FedDF-AT, FedET-AT, HeteroFL-AT, FedDrop-AT, FedRolex-AT,
-/// FedRBN, FedProphet.
-inline MethodResult run_method(const std::string& name, BenchSetup& s,
-                               std::int64_t rounds_other = 16,
-                               std::int64_t rounds_jfat = 12,
-                               std::int64_t fp_rounds_per_module = 5) {
-  MethodResult result;
-  result.name = name;
-  const auto eval_cfg = bench_eval_config(s.fl.epsilon0);
+/// Trains one method end to end (via the exp method registry) and evaluates
+/// the three paper metrics. Names: jFAT, FedDF-AT, FedET-AT, HeteroFL-AT,
+/// FedDrop-AT, FedRolex-AT, FedRBN, FedProphet.
+MethodResult run_method(const std::string& name, BenchSetup& s,
+                        std::int64_t rounds_other = 16,
+                        std::int64_t rounds_jfat = 12,
+                        std::int64_t fp_rounds_per_module = 5);
 
-  auto eval_into = [&](models::BuiltModel& model) {
-    result.metrics = attack::evaluate_robustness(model, s.env.test, eval_cfg);
-  };
-  auto record_comm = [&result](fed::FederatedAlgorithm& algo) {
-    result.bytes_up = algo.total_stats().bytes_up;
-    result.bytes_down = algo.total_stats().bytes_down;
-    result.peak_mem_bytes = algo.total_stats().peak_mem_bytes;
-    result.over_budget = algo.total_stats().over_budget;
-  };
+/// Builds a fresh setup from `spec` and trains its method; `label` names the
+/// result and its FP_BENCH_OUT export. The scenario benches define their
+/// sweeps as spec deltas and run every cell through this.
+MethodResult run_scenario(exp::ExperimentSpec spec, const std::string& label);
 
-  if (name == "jFAT") {
-    baselines::JFatConfig cfg;
-    cfg.fl = s.fl;
-    cfg.fl.rounds = scaled(rounds_jfat);
-    cfg.model_spec = s.model;
-    baselines::JFat algo(s.env, cfg);
-    algo.run();
-    result.sim_time = algo.sim_time();
-    result.history = algo.history();
-    fed::export_history_if_requested(name, algo.history());
-    record_comm(algo);
-    eval_into(algo.global_model());
-  } else if (name == "FedDF-AT" || name == "FedET-AT") {
-    baselines::DistillationConfig cfg;
-    cfg.fl = s.fl;
-    cfg.fl.rounds = scaled(rounds_other);
-    cfg.family = s.kd_family;
-    cfg.ensemble_transfer = (name == "FedET-AT");
-    cfg.distill_iters = 8;
-    cfg.device_mem_scale = s.device_mem_scale;
-    baselines::DistillationFAT algo(s.env, cfg);
-    algo.run();
-    result.sim_time = algo.sim_time();
-    result.history = algo.history();
-    fed::export_history_if_requested(name, algo.history());
-    record_comm(algo);
-    eval_into(algo.global_model());
-  } else if (name == "HeteroFL-AT" || name == "FedDrop-AT" ||
-             name == "FedRolex-AT") {
-    baselines::PartialTrainingConfig cfg;
-    cfg.fl = s.fl;
-    cfg.fl.rounds = scaled(rounds_other);
-    cfg.model_spec = s.model;
-    cfg.scheme = name == "HeteroFL-AT" ? models::SliceScheme::kStatic
-                 : name == "FedDrop-AT" ? models::SliceScheme::kRandom
-                                        : models::SliceScheme::kRolling;
-    cfg.device_mem_scale = s.device_mem_scale;
-    baselines::PartialTrainingFAT algo(s.env, cfg);
-    algo.run();
-    result.sim_time = algo.sim_time();
-    result.history = algo.history();
-    fed::export_history_if_requested(name, algo.history());
-    record_comm(algo);
-    eval_into(algo.global_model());
-  } else if (name == "FedRBN") {
-    baselines::FedRbnConfig cfg;
-    cfg.fl = s.fl;
-    cfg.fl.rounds = scaled(rounds_other);
-    cfg.model_spec = s.model;
-    cfg.device_mem_scale = s.device_mem_scale;
-    baselines::FedRbn algo(s.env, cfg);
-    algo.run();
-    result.sim_time = algo.sim_time();
-    result.history = algo.history();
-    fed::export_history_if_requested(name, algo.history());
-    record_comm(algo);
-    // Dual-BN evaluation: clean bank for clean accuracy, adversarial bank
-    // for the attacks.
-    algo.use_adv_bank(false);
-    result.metrics.clean_acc =
-        attack::evaluate_clean(algo.global_model(), s.env.test,
-                               eval_cfg.batch_size, eval_cfg.max_samples);
-    algo.use_adv_bank(true);
-    auto adv = attack::evaluate_robustness(algo.global_model(), s.env.test,
-                                           eval_cfg);
-    result.metrics.pgd_acc = adv.pgd_acc;
-    result.metrics.aa_acc = adv.aa_acc;
-    algo.use_adv_bank(false);
-  } else if (name == "FedProphet") {
-    fedprophet::FedProphetConfig cfg;
-    cfg.fl = s.fl;
-    cfg.model_spec = s.model;
-    cfg.rmin_bytes = s.rmin;
-    cfg.rounds_per_module = scaled(fp_rounds_per_module) + 1;
-    cfg.eval_every = 4;
-    cfg.device_mem_scale = s.device_mem_scale;
-    cfg.val_samples = 96;
-    fedprophet::FedProphet algo(s.env, cfg);
-    algo.train();
-    result.sim_time = algo.sim_time();
-    result.history = algo.history();
-    fed::export_history_if_requested(name, algo.history());
-    record_comm(algo);
-    eval_into(algo.global_model());
-  } else {
-    std::fprintf(stderr, "unknown method %s\n", name.c_str());
-    std::abort();
-  }
-  print_comm_summary(result, s.fl);
-  print_mem_summary(result, s);
-  return result;
-}
+/// Matched client-update budget for scheduler comparisons: one sync barrier
+/// round trains C clients; one async round applies a single update. Sets
+/// fl.rounds and the eval cadence accordingly.
+void apply_matched_budget(exp::ExperimentSpec& spec, std::int64_t sync_rounds,
+                          std::int64_t eval_every_sync = 3);
+
+/// One bench_comm sweep cell as a spec: jFAT through the engine's comm
+/// channel with the network model enabled and persistent fleet binding.
+/// `sync_rounds < 0` uses the bench default scaled(12). The shipped config
+/// configs/bench_comm_int8_sync.json is the resolved int8+sync cell.
+exp::ExperimentSpec comm_scenario_spec(const std::string& codec,
+                                       const std::string& scheduler,
+                                       std::int64_t sync_rounds = -1);
+
+/// Shared CLI handling for the bench binaries: prints the usage banner (with
+/// the FP_BENCH_FAST / FP_BENCH_OUT / FP_NUM_THREADS notes every binary used
+/// to duplicate) on --help or any unknown argument. Returns an exit code to
+/// return immediately, or -1 to continue into the bench.
+int parse_bench_args(int argc, char** argv, const char* name,
+                     const char* description);
 
 // ---- systems plane ----------------------------------------------------------
 

@@ -8,13 +8,17 @@
 // for robustness.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig10",
+                                                 "eps-per-dimension trace under APA");
+      rc >= 0)
+    return rc;
   using namespace fp::bench;
   std::printf("=== Figure 10: eps per dimension across rounds (APA) ===\n\n");
   for (const auto workload : {Workload::kCifar, Workload::kCaltech}) {
     auto setup = make_setup(workload, fp::sys::Heterogeneity::kBalanced);
     fp::fedprophet::FedProphetConfig cfg;
-    cfg.fl = setup.fl;
+    cfg.fl = setup.spec.fl;
     cfg.model_spec = setup.model;
     cfg.rmin_bytes = setup.rmin;
     cfg.rounds_per_module = fast_mode() ? 4 : 8;

@@ -62,7 +62,11 @@ void run_workload(const char* title, const sys::ModelSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig2",
+                                                 "overhead breakdown of one PGD training iteration");
+      rc >= 0)
+    return rc;
   std::printf(
       "=== Figure 2: overhead breakdown of one PGD-10 training iteration ===\n"
       "Paper shape: swapping makes data access dominate and inflates latency\n"

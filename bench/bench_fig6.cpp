@@ -56,7 +56,11 @@ void print_memory(const char* title, const sys::ModelSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig6",
+                                                 "device pools and availability samplings");
+      rc >= 0)
+    return rc;
   std::printf("=== Tables 5/6: device pools ===\n");
   print_pool("CIFAR-10 workload (Table 5)", fp::sys::cifar_device_pool());
   print_pool("Caltech-256 workload (Table 6)", fp::sys::caltech_device_pool());

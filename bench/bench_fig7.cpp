@@ -6,7 +6,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig7",
+                                                 "total training time of every method (systems plane)");
+      rc >= 0)
+    return rc;
   using namespace fp::bench;
   struct MethodRow {
     const char* name;

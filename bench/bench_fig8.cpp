@@ -7,7 +7,11 @@
 // collapses when mu is so large that the regularizer distracts training.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig8",
+                                                 "strong-convexity (mu) sweep");
+      rc >= 0)
+    return rc;
   using namespace fp::bench;
   const float mus[] = {1e-7f, 1e-5f, 1e-3f};
   std::printf("=== Figure 8: strong-convexity sweep ===\n\n");
@@ -22,7 +26,7 @@ int main() {
       for (const float mu : mus) {
         auto setup = make_setup(workload, het);
         fp::fedprophet::FedProphetConfig cfg;
-        cfg.fl = setup.fl;
+        cfg.fl = setup.spec.fl;
         cfg.model_spec = setup.model;
         cfg.rmin_bytes = setup.rmin;
         cfg.rounds_per_module = fast_mode() ? 3 : 6;
@@ -32,7 +36,7 @@ int main() {
         cfg.mu = mu;
         fp::fedprophet::FedProphet algo(setup.env, cfg);
         algo.train();
-        const auto eval_cfg = bench_eval_config(setup.fl.epsilon0);
+        const auto eval_cfg = bench_eval_config(setup.spec.fl.epsilon0);
         const double adv =
             fp::attack::evaluate_pgd(algo.global_model(), setup.env.test, eval_cfg);
         std::printf("%10.0e %13.1f%% %20.3f\n", mu, 100 * adv,

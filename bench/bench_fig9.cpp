@@ -7,7 +7,11 @@
 // machinery makes FedProphet insensitive to how finely it is partitioned.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_fig9",
+                                                 "Rmin sweep: module count vs accuracy");
+      rc >= 0)
+    return rc;
   using namespace fp::bench;
   const double fracs[] = {0.2, 0.4, 0.7, 1.05};
   std::printf("=== Figure 9: Rmin sweep (balanced) ===\n\n");
@@ -18,7 +22,7 @@ int main() {
     for (const double frac : fracs) {
       auto setup = make_setup(workload, fp::sys::Heterogeneity::kBalanced);
       fp::fedprophet::FedProphetConfig cfg;
-      cfg.fl = setup.fl;
+      cfg.fl = setup.spec.fl;
       cfg.model_spec = setup.model;
       cfg.rmin_bytes =
           static_cast<std::int64_t>(frac * static_cast<double>(setup.full_mem));
@@ -29,7 +33,7 @@ int main() {
       fp::fedprophet::FedProphet algo(setup.env, cfg);
       const auto num_modules = algo.partition().num_modules();
       algo.train();
-      const auto eval_cfg = bench_eval_config(setup.fl.epsilon0);
+      const auto eval_cfg = bench_eval_config(setup.spec.fl.epsilon0);
       const auto r = fp::attack::evaluate_robustness(algo.global_model(),
                                                      setup.env.test, eval_cfg);
       std::printf("%10.2f %9zu %11.1f%% %11.1f%%\n", frac, num_modules,

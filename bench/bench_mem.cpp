@@ -3,7 +3,7 @@
 // The paper's premise is that memory-constrained federated adversarial
 // training either swaps (jFAT) or must restructure the computation. This
 // scenario binary trains jFAT on the fast CIFAR scenario under enforced
-// per-client budgets of {1x, 0.5x, 0.25x} the planner's full-training peak,
+// per-client budgets of {1x, 0.5x, 0.25x} the measured full-training peak,
 // each in two execution modes:
 //  * swap-priced  — the overrun is streamed to storage (checkpointing off):
 //    aggregates are untouched, but the simulated clock pays the swap
@@ -12,9 +12,8 @@
 //    within the budget at the price of extra forward FLOPs (bit-identical
 //    gradients, so accuracy per round is unchanged by construction).
 // Reported per cell: final clean/PGD accuracy, measured peak bytes, budget
-// violations, total simulated time, and time-to-accuracy.
-//
-// Set FP_BENCH_OUT=<dir> to export every trajectory as CSV for diffing.
+// violations, total simulated time, and time-to-accuracy. Every cell is a
+// declarative spec delta (mem.* keys) over the same base scenario.
 #include <vector>
 
 #include "bench_common.hpp"
@@ -24,7 +23,6 @@ namespace {
 
 struct Cell {
   std::string label;
-  double budget_frac = 1.0;  ///< of the planned full-training peak
   bool checkpointing = false;
   MethodResult method;
   std::int64_t budget_bytes = 0;
@@ -36,77 +34,53 @@ double time_to_accuracy(const fed::History& h, double target) {
   return -1.0;
 }
 
-/// Planned peak of full-model training on the trainable backbone — the
-/// budget sweep's 1x reference point.
-std::int64_t planned_full_peak(const BenchSetup& s) {
-  mem::PlanRequest req;
-  req.atom_begin = 0;
-  req.atom_end = s.model.atoms.size();
-  req.batch_size = s.fl.batch_size;
-  req.resident_extra_bytes = mem::replica_resident_bytes(
-      s.model, 0, s.model.atoms.size(), s.fl.batch_size, 0);
-  return mem::plan_module_memory(s.model, req).peak_bytes;
-}
-
-MethodResult run_budgeted(const BenchSetup& base, std::int64_t budget_bytes,
-                          bool checkpointing, double mem_scale) {
-  // A fresh env per cell: identical data partition, fleet, and RNG streams.
-  auto s = make_setup(base.workload, sys::Heterogeneity::kBalanced);
-  s.fl.rounds = scaled(12);
-  s.fl.mem.measure = true;
+/// The budget-sweep spec: jFAT with measurement on; > 0 budget bytes enforce
+/// the budget in the requested execution mode. A fresh spec/env per cell:
+/// identical data partition, fleet, and RNG streams.
+exp::ExperimentSpec budgeted_spec(std::int64_t budget_bytes, bool checkpointing,
+                                  double mem_scale) {
+  exp::ExperimentSpec spec;
+  spec.method = "jFAT";
+  spec.fl.rounds = scaled(12);
+  spec.eval_every = 3;
+  spec.fl.mem.measure = true;
   // Maps measured trainable-plane bytes onto the paper pricing plane so a
-  // full-peak budget prices like the analytic baseline.
-  s.fl.mem.device_mem_scale = mem_scale > 0 ? mem_scale : s.device_mem_scale;
+  // full-peak budget prices like the analytic baseline (0 = the setup's auto
+  // trainable/paper ratio).
+  spec.fl.mem.device_mem_scale = mem_scale;
   if (budget_bytes > 0) {
-    s.fl.mem.enforce_budget = true;
-    s.fl.mem.checkpointing = checkpointing;
-    s.fl.mem.budget_override_bytes = budget_bytes;
+    spec.fl.mem.enforce_budget = true;
+    spec.fl.mem.checkpointing = checkpointing;
+    spec.fl.mem.budget_override_bytes = budget_bytes;
   }
-  fed::FedEnvConfig ecfg;
-  ecfg.fl = s.fl;
-  ecfg.with_public_set = true;
-  ecfg.cifar_pool = (s.workload == Workload::kCifar);
-  s.env = fed::make_env(s.data, ecfg, models::vgg16_spec(32, 10));
-
-  baselines::JFatConfig cfg;
-  cfg.fl = s.fl;
-  cfg.model_spec = s.model;
-  baselines::JFat algo(s.env, cfg);
-  algo.run(/*eval_every=*/3);
-
-  MethodResult r;
-  r.name = "jFAT";
-  r.sim_time = algo.sim_time();
-  r.history = algo.history();
-  r.bytes_up = algo.total_stats().bytes_up;
-  r.bytes_down = algo.total_stats().bytes_down;
-  r.peak_mem_bytes = algo.total_stats().peak_mem_bytes;
-  r.over_budget = algo.total_stats().over_budget;
-  const auto eval_cfg = bench_eval_config(s.fl.epsilon0);
-  r.metrics =
-      attack::evaluate_robustness(algo.global_model(), s.env.test, eval_cfg);
-  return r;
+  return spec;
 }
 
 }  // namespace
 }  // namespace fp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
+  if (const int rc = parse_bench_args(
+          argc, argv, "bench_mem",
+          "memory-budget sweep: jFAT under enforced client budgets");
+      rc >= 0)
+    return rc;
   std::printf("=== Memory-budget sweep: jFAT under enforced client budgets ===\n\n");
   const auto base = make_setup(Workload::kCifar, fp::sys::Heterogeneity::kBalanced);
-  const std::int64_t full_plan = planned_full_peak(base);
+  const std::int64_t full_plan =
+      fp::exp::planned_full_peak(base.model, base.spec.fl.batch_size);
 
   // Self-calibrating reference: the unbudgeted run measures the actual
   // full-training peak; budgets are fractions of THAT, and the pricing scale
   // maps it onto the paper-shape analytic requirement.
   std::vector<Cell> cells;
-  cells.push_back({"unbudgeted", 0.0, false, {}, 0});
-  cells.front().method = run_budgeted(base, 0, false, 0.0);
+  cells.push_back({"unbudgeted", false, {}, 0});
+  cells.front().method = run_scenario(budgeted_spec(0, false, 0.0), "jFAT");
   const std::int64_t ref_peak = cells.front().method.peak_mem_bytes;
   const auto paper = fp::models::vgg16_spec(32, 10);
   const std::int64_t paper_mem = fp::sys::module_train_mem_bytes(
-      paper, 0, paper.atoms.size(), base.fl.batch_size, false);
+      paper, 0, paper.atoms.size(), base.spec.fl.batch_size, false);
   const double mem_scale =
       static_cast<double>(ref_peak) / static_cast<double>(paper_mem);
   std::printf(
@@ -114,7 +88,7 @@ int main() {
       "(trainable backbone, B=%lld)\n\n",
       static_cast<double>(full_plan) / 1e6,
       static_cast<double>(ref_peak) / 1e6,
-      static_cast<long long>(base.fl.batch_size));
+      static_cast<long long>(base.spec.fl.batch_size));
 
   for (const double frac : {1.0, 0.5, 0.25}) {
     for (const bool ckpt : {false, true}) {
@@ -123,7 +97,6 @@ int main() {
       std::snprintf(buf, sizeof(buf), "%4.2fx %s", frac,
                     ckpt ? "checkpointed" : "swap-priced");
       c.label = buf;
-      c.budget_frac = frac;
       c.checkpointing = ckpt;
       c.budget_bytes =
           static_cast<std::int64_t>(frac * static_cast<double>(ref_peak));
@@ -134,9 +107,9 @@ int main() {
   for (auto& c : cells) {
     if (c.budget_bytes == 0 && !c.checkpointing && c.label == "unbudgeted")
       continue;  // reference already ran
-    c.method = run_budgeted(base, c.budget_bytes, c.checkpointing, mem_scale);
-    fp::fed::export_history_if_requested(
-        "jFAT-mem-" + fp::fed::sanitize_filename(c.label), c.method.history);
+    c.method = run_scenario(budgeted_spec(c.budget_bytes, c.checkpointing,
+                                          mem_scale),
+                            "jFAT-mem-" + fp::fed::sanitize_filename(c.label));
   }
 
   // Time-to-accuracy target: 90% of the unbudgeted run's final clean
@@ -162,7 +135,6 @@ int main() {
   std::printf(
       "\nswap-priced cells keep plain execution and pay the overrun as\n"
       "simulated storage traffic; checkpointed cells keep the measured peak\n"
-      "within budget (bit-identical gradients, extra recompute FLOPs).\n"
-      "FP_BENCH_OUT=<dir> exports trajectories.\n");
+      "within budget (bit-identical gradients, extra recompute FLOPs).\n");
   return 0;
 }

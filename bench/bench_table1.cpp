@@ -4,8 +4,12 @@
 // robustness, but naive sub-model training forfeits the gain.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
+  if (const int rc = parse_bench_args(argc, argv, "bench_table1",
+                                      "FAT accuracy vs model size");
+      rc >= 0)
+    return rc;
   std::printf("=== Table 1: FAT accuracy vs model size (federated, PGD-AT) ===\n");
   std::printf("Paper shape: Large > Small ~ Large-PT on both metrics.\n\n");
   for (const auto workload : {Workload::kCifar, Workload::kCaltech}) {
@@ -13,12 +17,14 @@ int main() {
     std::printf("-- %s --\n%-16s %12s %12s\n", workload_name(workload),
                 "model (mem)", "Clean Acc.", "Adv. Acc.");
 
-    // Small model: jFAT over the TinyCNN (fits everywhere).
-    BenchSetup small = setup;
-    small.model = setup.small_model;
+    // Small model: jFAT over the TinyCNN (fits everywhere) — the same
+    // scenario with the backbone overridden by spec key.
+    auto small = make_setup(workload, fp::sys::Heterogeneity::kBalanced,
+                            {"model.name=tiny_cnn"});
     const auto r_small = run_method("jFAT", small, 36, 36);
     const auto mem_small = fp::sys::module_train_mem_bytes(
-        small.model, 0, small.model.atoms.size(), setup.fl.batch_size, false);
+        small.model, 0, small.model.atoms.size(), setup.spec.fl.batch_size,
+        false);
 
     // Large model: jFAT over the full backbone (swaps on weak clients).
     const auto r_large = run_method("jFAT", setup, 36, 36);

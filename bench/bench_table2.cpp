@@ -7,11 +7,14 @@
 // baselines sit in between; FedRBN has the best clean but weak robustness.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
-  const char* methods[] = {"jFAT",        "FedDF-AT",   "FedET-AT",
-                           "HeteroFL-AT", "FedDrop-AT", "FedRolex-AT",
-                           "FedRBN",      "FedProphet"};
+  if (const int rc = parse_bench_args(argc, argv, "bench_table2",
+                                      "Clean/PGD/AA accuracy of all methods");
+      rc >= 0)
+    return rc;
+  // The full method registry, in canonical order.
+  const auto methods = fp::exp::method_registry().names();
   std::printf("=== Table 2: Clean / PGD / AA accuracy (all methods) ===\n\n");
   for (const auto workload : {Workload::kCifar, Workload::kCaltech}) {
     for (const auto het : {fp::sys::Heterogeneity::kBalanced,
@@ -21,7 +24,7 @@ int main() {
                                                            : "unbalanced");
       std::printf("%-14s %11s %11s %11s\n", "method", "Clean Acc.", "PGD Acc.",
                   "AA Acc.");
-      for (const char* name : methods) {
+      for (const auto& name : methods) {
         auto setup = make_setup(workload, het);
         const auto r = run_method(name, setup);
         std::printf("%-14s %10.1f%% %10.1f%% %10.1f%%\n", r.name.c_str(),

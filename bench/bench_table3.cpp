@@ -6,8 +6,12 @@
 // most visibly on the harder many-class workload.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fp::bench;
+  if (const int rc = parse_bench_args(argc, argv, "bench_table3",
+                                      "FedProphet APA/DMA ablation");
+      rc >= 0)
+    return rc;
   struct Combo {
     bool apa, dma;
   };
@@ -23,25 +27,15 @@ int main() {
                                                            : "unbalanced");
       std::printf("%5s %5s %12s %12s\n", "APA", "DMA", "Clean Acc.", "Adv. Acc.");
       for (const auto combo : combos) {
-        auto setup = make_setup(workload, het);
-        fp::fedprophet::FedProphetConfig cfg;
-        cfg.fl = setup.fl;
-        cfg.model_spec = setup.model;
-        cfg.rmin_bytes = setup.rmin;
-        cfg.rounds_per_module = fast_mode() ? 3 : 6;
-        cfg.eval_every = 4;
-        cfg.device_mem_scale = setup.device_mem_scale;
-        cfg.val_samples = 96;
-        cfg.apa = combo.apa;
-        cfg.dma = combo.dma;
-        fp::fedprophet::FedProphet algo(setup.env, cfg);
-        algo.train();
-        const auto eval_cfg = bench_eval_config(setup.fl.epsilon0);
-        const auto r = fp::attack::evaluate_robustness(algo.global_model(),
-                                                       setup.env.test, eval_cfg);
+        // Each ablation cell is a spec delta: the fp.apa / fp.dma keys on an
+        // otherwise-default FedProphet scenario.
+        auto setup = make_setup(workload, het,
+                                {combo.apa ? "fp.apa=1" : "fp.apa=0",
+                                 combo.dma ? "fp.dma=1" : "fp.dma=0"});
+        const auto r = run_method("FedProphet", setup);
         std::printf("%5s %5s %11.1f%% %11.1f%%\n", combo.apa ? "yes" : "no",
-                    combo.dma ? "yes" : "no", 100 * r.clean_acc,
-                    100 * r.pgd_acc);
+                    combo.dma ? "yes" : "no", 100 * r.metrics.clean_acc,
+                    100 * r.metrics.pgd_acc);
         std::fflush(stdout);
       }
       std::printf("\n");

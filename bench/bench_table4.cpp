@@ -6,7 +6,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_table4",
+                                                 "FedProphet training time with vs without DMA");
+      rc >= 0)
+    return rc;
   using namespace fp::bench;
   std::printf("=== Table 4: FedProphet training time, with vs without DMA ===\n\n");
   std::printf("%-28s %-11s %14s %14s %10s\n", "setting", "DMA", "compute (s)",

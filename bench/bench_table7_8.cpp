@@ -6,7 +6,11 @@
 #include "bench_common.hpp"
 #include "cascade/partitioner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (const int rc = fp::bench::parse_bench_args(argc, argv, "bench_table7_8",
+                                                 "memory-constrained model partitions");
+      rc >= 0)
+    return rc;
   using namespace fp;
   std::printf("=== Table 7: VGG16 partition (Rmin = 60 MB, B = 64) ===\n");
   const auto vgg = models::vgg16_spec(32, 10);

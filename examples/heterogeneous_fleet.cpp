@@ -6,13 +6,16 @@
 #include <cstdio>
 
 #include "cascade/partitioner.hpp"
+#include "exp/registries.hpp"
 #include "fedprophet/coordinator.hpp"
-#include "models/zoo.hpp"
 #include "sysmodel/device.hpp"
 
 int main() {
   using namespace fp;
-  const auto spec = models::vgg16_spec(32, 10);
+  // The paper-exact analytic backbone, from the experiment model registry
+  // (the same key an fp_run spec would name as model.name=vgg16).
+  const auto spec =
+      exp::model_registry().resolve("vgg16")({/*image=*/32, /*classes=*/10});
   const auto partition = cascade::partition_model(spec, 60ll << 20, 64);
   std::printf("VGG16 partitioned into %zu modules at Rmin = 60 MB\n\n",
               partition.num_modules());

@@ -1,68 +1,71 @@
 // Quickstart: memory-efficient federated adversarial training with
-// FedProphet on a synthetic CIFAR-like dataset.
+// FedProphet on a synthetic CIFAR-like dataset, driven through the
+// declarative experiment API (src/exp/, DESIGN.md §7).
 //
-// Walks the full public API surface end to end:
-//   1. synthesize a dataset and partition it non-IID over clients,
-//   2. build the federated environment (device fleet, cost model),
-//   3. partition the backbone into memory-sized modules (Algorithm 1),
-//   4. run FedProphet (adversarial cascade learning + server coordinator),
-//   5. evaluate clean / PGD-20 / AutoAttackLite accuracy.
+// Walks the public API surface end to end:
+//   1. describe the whole experiment as an ExperimentSpec — every knob is a
+//      dotted key, the same keys `fp_run` accepts on its command line,
+//   2. build the setup (synthetic data, non-IID shards, device fleet, model
+//      family) and inspect the module partition (Algorithm 1),
+//   3. construct FedProphet from the method registry and train it
+//      (adversarial cascade learning + server coordinator, Algorithm 2),
+//   4. evaluate clean / PGD-20 / AutoAttackLite accuracy.
 //
 // Runs in about a minute on one CPU core.
 #include <cstdio>
 
-#include "attack/evaluate.hpp"
-#include "data/synthetic.hpp"
+#include "cascade/partitioner.hpp"
+#include "exp/runner.hpp"
 #include "fedprophet/fedprophet.hpp"
-#include "models/zoo.hpp"
 
 int main() {
   using namespace fp;
 
-  // 1. Data: 10-class synthetic image set, split non-IID over 10 clients.
-  data::SyntheticConfig dcfg = data::synth_cifar_config();
-  dcfg.train_size = 1500;
-  dcfg.test_size = 300;
-  const auto dataset = data::make_synthetic(dcfg);
+  // 1. The experiment, declaratively. Defaults reproduce the bench scenario;
+  //    every override below is a plain key=value — paste them after `fp_run`
+  //    to get the identical run from the CLI.
+  exp::ExperimentSpec spec;
+  for (const char* kv : {
+           "method=FedProphet", "workload=cifar", "data.train_size=1500",
+           "data.test_size=300", "fl.num_clients=10", "fl.clients_per_round=4",
+           "fl.local_iters=5", "fl.batch_size=16", "fl.pgd_steps=3",
+           "fl.lr0=0.05", "fl.sgd.lr=0.05", "fl.lr_decay=0.994", "fl.seed=123",
+           "env.public_set=0",
+           // Rmin = 1/3 of full-model memory; 10 rounds per module stage.
+           "fp.rmin_frac=0.3333333333333333", "fp.rounds_per_module=10",
+           "fp.eval_every=5", "fp.val_samples=256",
+           // Final evaluation: PGD-10 / AA-lite-10 over 200 samples.
+           "eval.pgd_steps=10", "eval.aa_steps=10", "eval.aa_restarts=2",
+           "eval.max_samples=200",
+       })
+    exp::apply_override(spec, kv);
 
-  fed::FlConfig fl;
-  fl.num_clients = 10;
-  fl.clients_per_round = 4;
-  fl.local_iters = 5;
-  fl.batch_size = 16;
-  fl.pgd_steps = 3;  // PGD-3 adversarial training (paper uses PGD-10)
-  fl.lr0 = 0.05f;
-  fl.sgd.lr = 0.05f;
-
-  // 2. Environment: shards, weights, the paper's CIFAR device pool.
-  fed::FedEnvConfig ecfg;
-  ecfg.fl = fl;
-  auto env = fed::make_env(dataset, ecfg, models::vgg16_spec(32, 10));
-  std::printf("environment: %lld clients, test set %lld, device pool '%s'...\n",
-              static_cast<long long>(env.num_clients()),
-              static_cast<long long>(env.test.size()),
-              env.devices->pool()[0].name.c_str());
-
-  // 3. FedProphet over a TinyVGG backbone, Rmin = 1/3 of full-model memory.
-  fedprophet::FedProphetConfig cfg;
-  cfg.fl = fl;
-  cfg.model_spec = models::tiny_vgg_spec(16, 10, 6);
+  // Map a 0.2 GB reference device onto the tiny trainable backbone.
+  const auto backbone = exp::model_registry().resolve("tiny_vgg")(
+      {spec.model_image, 10, spec.model_width});
   const auto full_mem = sys::module_train_mem_bytes(
-      cfg.model_spec, 0, cfg.model_spec.atoms.size(), fl.batch_size, false);
-  cfg.rmin_bytes = full_mem / 3;
-  cfg.rounds_per_module = 10;
-  cfg.eval_every = 5;
-  cfg.device_mem_scale =
+      backbone, 0, backbone.atoms.size(), spec.fl.batch_size, false);
+  spec.device_mem_scale =
       static_cast<double>(full_mem) / (0.2 * static_cast<double>(1ull << 30));
 
-  fedprophet::FedProphet algo(env, cfg);
+  // 2. Build the environment: shards, weights, the paper's CIFAR device pool.
+  exp::Setup setup = exp::build_setup(spec);
+  std::printf("environment: %lld clients, test set %lld, device pool '%s'...\n",
+              static_cast<long long>(setup.env.num_clients()),
+              static_cast<long long>(setup.env.test.size()),
+              setup.env.devices->pool()[0].name.c_str());
+
+  // 3. FedProphet from the method registry (the same factory fp_run uses).
+  exp::MethodRun run = exp::method_registry().resolve("FedProphet")(setup);
+  auto& algo = dynamic_cast<fedprophet::FedProphet&>(*run.algo);
   std::printf("partitioned %s into %zu modules (Rmin = %.1f KB):\n",
-              cfg.model_spec.name.c_str(), algo.partition().num_modules(),
-              static_cast<double>(cfg.rmin_bytes) / 1024.0);
-  std::printf("%s", cascade::format_partition(cfg.model_spec, algo.partition()).c_str());
+              setup.model.name.c_str(), algo.partition().num_modules(),
+              static_cast<double>(setup.rmin) / 1024.0);
+  std::printf("%s",
+              cascade::format_partition(setup.model, algo.partition()).c_str());
 
   // 4. Train (Algorithm 2: module stages with APA + DMA).
-  algo.train();
+  run.train();
   for (const auto& stage : algo.stages())
     std::printf(
         "module %zu: %lld rounds, prefix clean %.1f%% adv %.1f%%, "
@@ -71,13 +74,8 @@ int main() {
         100 * stage.final_clean, 100 * stage.final_adv, stage.eps_used,
         stage.mean_dz);
 
-  // 5. Final three-metric evaluation.
-  attack::RobustEvalConfig eval_cfg;
-  eval_cfg.pgd_steps = 10;
-  eval_cfg.aa_steps = 10;
-  eval_cfg.max_samples = 200;
-  const auto result =
-      attack::evaluate_robustness(algo.global_model(), env.test, eval_cfg);
+  // 5. Final three-metric evaluation (the eval.* keys above).
+  const auto result = run.evaluate(exp::eval_config(setup.spec));
   std::printf("\nfinal: clean %.1f%%  PGD %.1f%%  AA-lite %.1f%%\n",
               100 * result.clean_acc, 100 * result.pgd_acc, 100 * result.aa_acc);
   std::printf("simulated training time: %.3g s (compute %.3g s, access %.3g s)\n",

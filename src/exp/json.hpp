@@ -1,0 +1,28 @@
+// Minimal JSON reader for experiment spec files (src/exp/, DESIGN.md §7).
+//
+// Spec files are JSON objects whose leaves are scalars (string, number,
+// true/false). Objects may nest — {"fl": {"num_clients": 10}} — or use
+// dotted keys directly — {"fl.num_clients": 10}; both flatten to the same
+// dotted-key map the spec schema consumes. Arrays and null are rejected: no
+// spec key is list-valued, and an explicit error beats a silent drop.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fp::exp {
+
+/// One flattened leaf: dotted key path -> scalar literal. String values are
+/// unescaped; numbers and booleans keep their literal spelling so the spec
+/// setters (not the parser) own numeric interpretation.
+using FlatJson = std::vector<std::pair<std::string, std::string>>;
+
+/// Parses a JSON object into flattened (key, value) pairs in document order.
+/// Throws SpecError with a character offset on malformed input.
+FlatJson parse_json_object(const std::string& text);
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace fp::exp

@@ -1,0 +1,49 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+
+namespace fp::exp {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[m];
+}
+
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_d = SIZE_MAX;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  return best_d <= cutoff ? best : std::string();
+}
+
+std::string unknown_name_message(const std::string& what,
+                                 const std::string& name,
+                                 const std::vector<std::string>& candidates) {
+  std::string msg = "unknown " + what + " '" + name + "'";
+  const std::string near = nearest_name(name, candidates);
+  if (!near.empty()) msg += "; did you mean '" + near + "'?";
+  msg += " valid " + what + "s:";
+  for (const auto& c : candidates) msg += " " + c;
+  return msg;
+}
+
+}  // namespace fp::exp

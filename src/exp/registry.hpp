@@ -1,0 +1,86 @@
+// String-keyed registries for the declarative experiment API (DESIGN.md §7).
+//
+// A registry maps stable experiment-facing names ("FedProphet", "tiny_vgg",
+// "int8", ...) to factories or enum values. Lookups of unknown names throw
+// SpecError with a nearest-name suggestion, so a typo on the fp_run command
+// line fails with "did you mean ...?" instead of an abort deep in a bench.
+// Registration order is preserved: names() is the canonical listing shown by
+// `fp_run --list` and used in error messages.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fp::exp {
+
+/// Any spec/registry misuse: unknown key, unknown name, unparsable value.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidate closest to `name`, or "" when nothing is plausibly close
+/// (distance must be <= max(2, |name| / 3)).
+std::string nearest_name(const std::string& name,
+                         const std::vector<std::string>& candidates);
+
+/// "unknown <what> '<name>'; did you mean '<nearest>'? valid: a, b, c"
+std::string unknown_name_message(const std::string& what,
+                                 const std::string& name,
+                                 const std::vector<std::string>& candidates);
+
+template <class T>
+class Registry {
+ public:
+  /// `what` names the entry type in error messages ("method", "codec", ...).
+  explicit Registry(std::string what) : what_(std::move(what)) {}
+
+  void add(const std::string& name, T value, std::string doc = {}) {
+    if (find(name) != nullptr)
+      throw SpecError("duplicate " + what_ + " '" + name + "'");
+    entries_.emplace_back(name, Entry{std::move(value), std::move(doc)});
+  }
+
+  bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  const T& resolve(const std::string& name) const {
+    if (const Entry* e = find(name)) return e->value;
+    throw SpecError(unknown_name_message(what_, name, names()));
+  }
+
+  const std::string& doc(const std::string& name) const {
+    if (const Entry* e = find(name)) return e->doc;
+    throw SpecError(unknown_name_message(what_, name, names()));
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+  const std::string& what() const { return what_; }
+
+ private:
+  struct Entry {
+    T value;
+    std::string doc;
+  };
+
+  const Entry* find(const std::string& name) const {
+    for (const auto& [key, entry] : entries_)
+      if (key == name) return &entry;
+    return nullptr;
+  }
+
+  std::string what_;
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+}  // namespace fp::exp

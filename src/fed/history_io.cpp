@@ -76,17 +76,16 @@ std::string sanitize_filename(const std::string& name) {
   return out;
 }
 
-bool export_history_if_requested(const std::string& method,
-                                 const History& history) {
+std::string export_history_path(const std::string& method) {
   const char* dir = std::getenv("FP_BENCH_OUT");
-  if (!dir || !dir[0]) return false;
+  if (!dir || !dir[0]) return {};
   // Bench binaries train the same method several times (per workload, per
   // model size): number repeat runs instead of overwriting the trajectory.
   const std::string base = std::string(dir) + "/" + sanitize_filename(method);
   std::string path = base + ".csv";
   for (int i = 2; std::filesystem::exists(path) && i < 1000; ++i)
     path = base + "-" + std::to_string(i) + ".csv";
-  return write_history_csv(path, history);
+  return path;
 }
 
 }  // namespace fp::fed

@@ -23,11 +23,12 @@ bool write_history_json(const std::string& path, const std::string& method,
 /// Replaces everything outside [A-Za-z0-9._-] with '_' (method -> filename).
 std::string sanitize_filename(const std::string& name);
 
-/// When the FP_BENCH_OUT environment variable names a directory, writes
-/// `<FP_BENCH_OUT>/<sanitized method>.csv` (repeat runs of the same method
-/// get a `-2`, `-3`, ... suffix) and returns true; no-op otherwise.
-/// The bench binaries call this for every trained method.
-bool export_history_if_requested(const std::string& method,
-                                 const History& history);
+/// The path an FP_BENCH_OUT export of `method` would use right now:
+/// `<FP_BENCH_OUT>/<sanitized method>.csv`, with a `-2`, `-3`, ... suffix
+/// when earlier runs of the same method already exported. Returns "" when
+/// FP_BENCH_OUT is unset. The single FP_BENCH_OUT entry point is
+/// exp::export_run_artifacts, which derives the trajectory CSV and the
+/// sibling resolved-spec JSON names from this.
+std::string export_history_path(const std::string& method);
 
 }  // namespace fp::fed

@@ -18,6 +18,7 @@
 #include "blob_hash.hpp"
 #include "core/parallel.hpp"
 #include "data/synthetic.hpp"
+#include "exp/runner.hpp"
 #include "fed/history_io.hpp"
 #include "fed/runtime/scheduler.hpp"
 #include "fedprophet/fedprophet.hpp"
@@ -122,6 +123,56 @@ TEST(SyncScheduler, FedProphetMatchesPreRefactorGolden) {
     EXPECT_EQ(algo.eps_trace()[2], kFpGoldenEps2);
   }
   core::set_num_threads(1);
+}
+
+// The declarative experiment API must be a pure re-plumbing: building the
+// same tiny scenario through ExperimentSpec + the method registry has to
+// reproduce the PRE-REFACTOR golden aggregates bit for bit.
+exp::ExperimentSpec tiny_exp_spec(const std::string& method) {
+  exp::ExperimentSpec spec;
+  spec.method = method;
+  for (const char* kv : {
+           "workload=cifar", "env.public_set=0", "data.train_size=240",
+           "data.test_size=80", "model.classes=4", "model.width=4",
+           "fl.num_clients=6", "fl.clients_per_round=3", "fl.local_iters=2",
+           "fl.batch_size=16", "fl.pgd_steps=2", "fl.rounds=2", "fl.lr0=0.05",
+           "fl.sgd.lr=0.05", "fl.lr_decay=0.994", "fl.seed=123",
+       })
+    exp::apply_override(spec, kv);
+  return spec;
+}
+
+TEST(SyncScheduler, RegistryDrivenJFatMatchesPreRefactorGolden) {
+  auto setup = exp::build_setup(tiny_exp_spec("jFAT"));
+  exp::MethodRun run = exp::method_registry().resolve("jFAT")(setup);
+  run.train();
+  EXPECT_EQ(fnv1a(run.algo->global_model().save_all()), kJfatGoldenHash)
+      << "registry-driven construction diverged from the pre-refactor loop";
+  EXPECT_EQ(run.algo->sim_time().compute_s, kJfatGoldenCompute);
+  EXPECT_EQ(run.algo->sim_time().access_s, kJfatGoldenAccess);
+}
+
+TEST(SyncScheduler, RegistryDrivenFedProphetMatchesPreRefactorGolden) {
+  auto spec = tiny_exp_spec("FedProphet");
+  const auto model = models::tiny_vgg_spec(16, 4, 4);
+  const auto full = sys::module_train_mem_bytes(model, 0, model.atoms.size(),
+                                                /*batch=*/16, false);
+  spec.fp_rmin_bytes = full / 3;
+  spec.fp_rounds_per_module = 2;
+  spec.fp_eval_every = 2;
+  spec.fp_val_samples = 32;
+  spec.device_mem_scale =
+      static_cast<double>(full) / (2.0 * static_cast<double>(1ull << 30));
+  auto setup = exp::build_setup(spec);
+  exp::MethodRun run = exp::method_registry().resolve("FedProphet")(setup);
+  run.train();
+  EXPECT_EQ(fnv1a(run.algo->global_model().save_all()), kFpGoldenHash)
+      << "registry-driven construction diverged from the pre-refactor loop";
+  EXPECT_EQ(run.algo->sim_time().compute_s, kFpGoldenCompute);
+  auto& fp_algo = dynamic_cast<fedprophet::FedProphet&>(*run.algo);
+  ASSERT_EQ(fp_algo.eps_trace().size(), 8u);
+  EXPECT_EQ(fp_algo.eps_trace()[0], kFpGoldenEps0);
+  EXPECT_EQ(fp_algo.eps_trace()[2], kFpGoldenEps2);
 }
 
 TEST(AsyncScheduler, ReplayIsSeedDeterministicAcrossThreadCounts) {

@@ -1,0 +1,168 @@
+// fp_run: the declarative experiment driver (DESIGN.md §7).
+//
+// One binary drives any method x scheduler x codec x budget scenario:
+//
+//   fp_run --config exp.json method=FedProphet comm.codec=int8 \
+//          mem.enforce_budget=1 fl.scheduler=async
+//
+// A spec starts from the bench-scenario defaults, is overridden by the
+// optional JSON config file and then by key=value arguments (in order),
+// resolved (auto fields filled with their concrete values), and executed end
+// to end: train, evaluate clean/PGD/AA-lite, print the history summary.
+// FP_BENCH_OUT=<dir> additionally exports the trajectory CSV and the
+// fully-resolved spec (<name>.spec.json) — `fp_run --config <that file>`
+// reproduces the run exactly.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace {
+
+using fp::exp::ExperimentSpec;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "fp_run — declarative federated-experiment driver\n\n"
+               "usage: fp_run [options] [key=value ...]\n\n"
+               "options:\n"
+               "  --config <file.json>  apply a spec file (nested or dotted keys)\n"
+               "  --dump-spec <path>    write the fully-resolved spec and exit\n"
+               "  --print-spec          print the fully-resolved spec before running\n"
+               "  --list                list registered methods/models/workloads/\n"
+               "                        schedulers/codecs and exit\n"
+               "  --keys                list every spec key with default and doc\n"
+               "  --help                this message\n\n"
+               "environment:\n"
+               "  FP_BENCH_FAST=1    shrink the default scenario ~4x (CI smoke)\n"
+               "  FP_BENCH_OUT=<dir> export trajectory CSV + resolved .spec.json\n"
+               "  FP_NUM_THREADS=<n> worker threads (default: hardware)\n\n"
+               "examples:\n"
+               "  fp_run method=FedProphet\n"
+               "  fp_run method=jFAT fl.scheduler=async async.straggler_cutoff_s=0.5\n"
+               "  fp_run method=jFAT comm.codec=int8 comm.model_network=1\n"
+               "  fp_run method=jFAT mem.measure=1 mem.enforce_budget=1 \\\n"
+               "         mem.checkpointing=1 mem.budget_frac=0.5\n\n"
+               "run fp_run --keys for the full dotted-key table.\n");
+  return out == stdout ? 0 : 2;
+}
+
+void list_registry_names() {
+  auto section = [](const char* title, const std::vector<std::string>& names,
+                    auto doc_of) {
+    std::printf("%s:\n", title);
+    for (const auto& n : names)
+      std::printf("  %-14s %s\n", n.c_str(), doc_of(n).c_str());
+    std::printf("\n");
+  };
+  using namespace fp::exp;
+  section("methods", method_registry().names(),
+          [](const std::string& n) { return method_registry().doc(n); });
+  section("models", model_registry().names(),
+          [](const std::string& n) { return model_registry().doc(n); });
+  section("workloads", workload_registry().names(),
+          [](const std::string& n) { return workload_registry().doc(n); });
+  section("schedulers", scheduler_registry().names(),
+          [](const std::string& n) { return scheduler_registry().doc(n); });
+  section("codecs", codec_registry().names(),
+          [](const std::string& n) { return codec_registry().doc(n); });
+}
+
+void list_keys() {
+  const ExperimentSpec defaults;
+  std::printf("%-26s %-14s %s\n", "key", "default", "doc");
+  for (const auto& def : fp::exp::spec_schema())
+    std::printf("%-26s %-14s %s\n", def.key.c_str(),
+                def.get(defaults).c_str(), def.doc.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path, dump_path;
+  bool print_spec = false;
+  std::vector<std::string> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--list") {
+      list_registry_names();
+      return 0;
+    }
+    if (arg == "--keys") {
+      list_keys();
+      return 0;
+    }
+    if (arg == "--print-spec") {
+      print_spec = true;
+      continue;
+    }
+    if (arg == "--config" || arg == "--dump-spec") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fp_run: %s needs a path argument\n\n", arg.c_str());
+        return usage(stderr);
+      }
+      (arg == "--config" ? config_path : dump_path) = argv[++i];
+      continue;
+    }
+    if (arg.find('=') != std::string::npos && arg[0] != '-') {
+      overrides.push_back(arg);
+      continue;
+    }
+    std::fprintf(stderr, "fp_run: unknown argument '%s'\n\n", arg.c_str());
+    return usage(stderr);
+  }
+
+  try {
+    ExperimentSpec spec;
+    if (!config_path.empty()) {
+      std::ifstream in(config_path);
+      if (!in) {
+        std::fprintf(stderr, "fp_run: cannot read config '%s'\n",
+                     config_path.c_str());
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      fp::exp::apply_json(spec, text.str());
+    }
+    for (const auto& kv : overrides) fp::exp::apply_override(spec, kv);
+
+    if (!dump_path.empty()) {
+      // Spec inspection only: resolve (including the model-family-derived
+      // autos) without synthesizing the dataset or environment.
+      const fp::exp::ExperimentSpec resolved =
+          fp::exp::resolve_full(std::move(spec));
+      std::ofstream out(dump_path);
+      if (!out) {
+        std::fprintf(stderr, "fp_run: cannot write '%s'\n", dump_path.c_str());
+        return 2;
+      }
+      out << fp::exp::spec_to_json(resolved);
+      std::printf("wrote resolved spec to %s\n", dump_path.c_str());
+      return 0;
+    }
+    fp::exp::Setup setup = fp::exp::build_setup(std::move(spec));
+    if (print_spec) std::printf("%s", fp::exp::spec_to_json(setup.spec).c_str());
+
+    std::printf("fp_run: %s on %s (%lld clients, %lld rounds)\n",
+                setup.spec.method.c_str(), setup.spec.workload.c_str(),
+                static_cast<long long>(setup.spec.fl.num_clients),
+                static_cast<long long>(setup.spec.fl.rounds));
+    std::fflush(stdout);
+    const fp::exp::RunResult result = fp::exp::run_on_setup(setup);
+    fp::exp::print_run_summary(setup, result);
+    return 0;
+  } catch (const fp::exp::SpecError& e) {
+    std::fprintf(stderr, "fp_run: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fp_run: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}
