@@ -9,15 +9,38 @@
 //   FP_NUM_THREADS=1 ./bench_micro --benchmark_filter='Conv2dFwdBwd'
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "attack/attacks.hpp"
 #include "fed/aggregator.hpp"
 #include "models/zoo.hpp"
 #include "nn/conv.hpp"
 #include "nn/norm.hpp"
+#include "tensor/compute_mode.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace {
 using namespace fp;
+
+/// Best-of-N wall time of one call — the manual fp32 baseline each quantized
+/// benchmark reports its speedup against (same thread pool, same shapes).
+template <class Fn>
+double seconds_per_call(Fn&& fn, int reps = 3) {
+  fn();  // warm caches and scratch
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
 
 // GFLOP/s of the blocked, pool-parallel GEMM. 512 is the acceptance size.
 void BM_Gemm(benchmark::State& state) {
@@ -55,6 +78,41 @@ void BM_GemmReference(benchmark::State& state) {
       flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_GemmReference)->Arg(128)->Arg(512);
+
+// Block-quantized int8 GEMM (C = A * B^T): weights packed once, activations
+// quantized on pack per call — the inference pipeline's steady state. The
+// speedup_vs_fp32 counter divides by a manually timed blocked-fp32 NT GEMM
+// of the same shape on the same pool.
+void BM_QGemmInt8(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  const double fp32_s = seconds_per_call([&] {
+    gemm(false, true, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  });
+  QuantizedMat qb;
+  quantize_rows_int8(b.data(), n, n, n, qb);
+  QuantizedMat qa;
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    quantize_rows_int8(a.data(), n, n, n, qa);
+    qgemm_nt(n, n, qa, qb, c.data(), n);
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0).count();
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double flops = 2.0 * n * n * n;
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flops));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["speedup_vs_fp32"] =
+      fp32_s / (elapsed / static_cast<double>(state.iterations()));
+  state.SetLabel(qgemm_kernel_name());
+}
+BENCHMARK(BM_QGemmInt8)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
@@ -145,6 +203,91 @@ void BM_Conv2dFwdBwdSeedPerSample(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dFwdBwdSeedPerSample);
 
+// Inference forward of a 3x3 conv under each compute mode, against the
+// manually timed fp32 im2col+blocked-GEMM forward of the same layer.
+// Args: {channels, spatial, mode}; mode bit 0 = winograd, bit 1 = int8.
+// The channel/spatial pairs walk down a VGG-16 on CIFAR-10: 32ch@16x16
+// stands in for the early blocks (where the ic >= 96 gate keeps the tile
+// GEMMs in fp32), 128ch@8x8 and 256ch@4x4 are the mid/deep blocks where
+// int8 tile GEMMs dominate the model's FLOPs.
+void BM_ConvInferenceForward(benchmark::State& state) {
+  Rng rng(9);
+  const std::int64_t ch = state.range(0), hw = state.range(1);
+  nn::Conv2d conv(ch, ch, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({kConvBatch, ch, hw, hw}, rng);
+  const double fp32_s = seconds_per_call([&] {
+    Tensor y = conv.forward(x, /*train=*/false);
+    benchmark::DoNotOptimize(y.data());
+  });
+  compute::ComputeConfig cc;
+  cc.winograd = (state.range(2) & 1) != 0;
+  cc.precision = (state.range(2) & 2) != 0 ? compute::Precision::kInt8
+                                           : compute::Precision::kFp32;
+  const compute::InferenceScope scope(cc);
+  {
+    // Build the layer's Winograd plan / weight packs outside the timed loop:
+    // the row measures the steady state (plans rebuild only when weights
+    // change), not the one-time transform.
+    Tensor y = conv.forward(x, /*train=*/false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Tensor y = conv.forward(x, /*train=*/false);
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0).count();
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kConvBatch);
+  state.counters["speedup_vs_fp32"] =
+      fp32_s / (elapsed / static_cast<double>(state.iterations()));
+  state.SetLabel(std::string(compute::precision_name(cc.precision)) +
+                 (cc.winograd ? "+winograd" : ""));
+}
+BENCHMARK(BM_ConvInferenceForward)
+    ->Args({32, 16, 1})    // fp32 + Winograd, early block
+    ->Args({32, 16, 3})    // int8 + Winograd (gate keeps tile GEMMs fp32)
+    ->Args({128, 8, 2})    // int8 im2col, mid block
+    ->Args({128, 8, 3})    // int8 + Winograd, mid block
+    ->Args({256, 4, 3});   // int8 + Winograd, deep block
+
+// Whole-model eval forward (the frozen-prefix / evaluation hot path) in the
+// int8+Winograd configuration vs the default fp32 forward, on the VGG-16 /
+// CIFAR-10 model FedProphet partitions in the paper's experiments.
+void BM_EvalForwardInt8Winograd(benchmark::State& state) {
+  Rng rng(10);
+  models::BuiltModel model(models::vgg16_spec(32, 10), rng);
+  const Tensor x = Tensor::rand_uniform({8, 3, 32, 32}, rng, 0.0f, 1.0f);
+  const double fp32_s = seconds_per_call([&] {
+    Tensor y = model.forward(x, /*train=*/false);
+    benchmark::DoNotOptimize(y.data());
+  });
+  compute::ComputeConfig cc;
+  cc.precision = compute::Precision::kInt8;
+  cc.winograd = true;
+  const compute::InferenceScope scope(cc);
+  {
+    // One warm forward builds every layer's plan/packs; the timed loop is
+    // the steady-state eval pass.
+    Tensor y = model.forward(x, /*train=*/false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Tensor y = model.forward(x, /*train=*/false);
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0).count();
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.counters["speedup_vs_fp32"] =
+      fp32_s / (elapsed / static_cast<double>(state.iterations()));
+  state.SetLabel(qgemm_kernel_name());
+}
+BENCHMARK(BM_EvalForwardInt8Winograd);
+
 // Full train step (forward + loss grad + backward) of the Tiny-VGG used by
 // the accuracy plane; items/s is samples/s of local-training throughput.
 void BM_TrainStep(benchmark::State& state) {
@@ -216,4 +359,22 @@ BENCHMARK(BM_PartialAverage);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the repo's FP_BENCH_OUT convention: when set, the run
+// also writes a CSV of every row (fed::export_history_path-style artifact
+// export; the CI smoke archives it).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  if (const char* out = std::getenv("FP_BENCH_OUT")) {
+    out_flag = std::string("--benchmark_out=") + out;
+    fmt_flag = "--benchmark_out_format=csv";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,9 +11,13 @@ std::int64_t eval_count(const data::Dataset& test, std::int64_t max_samples) {
   return max_samples > 0 ? std::min(max_samples, test.size()) : test.size();
 }
 
-/// Marks correctly classified samples (eval mode).
+/// Marks correctly classified samples (eval mode). This forward is pure
+/// inference, so it runs under the caller's compute mode (int8 / Winograd
+/// when configured); attack-generation forwards do not.
 std::vector<bool> correct_mask(models::BuiltModel& model, const Tensor& x,
-                               const std::vector<std::int64_t>& y) {
+                               const std::vector<std::int64_t>& y,
+                               const compute::ComputeConfig& cc) {
+  const compute::InferenceScope scope(cc);
   const Tensor logits = model.forward(x, /*train=*/false);
   const auto preds = logits.argmax_rows();
   std::vector<bool> ok(preds.size());
@@ -49,12 +53,13 @@ LossGradFn model_dlr_lossgrad(models::BuiltModel& model) {
 }
 
 double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
-                      std::int64_t batch_size, std::int64_t max_samples) {
+                      std::int64_t batch_size, std::int64_t max_samples,
+                      const compute::ComputeConfig& compute) {
   const std::int64_t n = eval_count(test, max_samples);
   std::int64_t correct = 0;
   for (std::int64_t start = 0; start < n; start += batch_size) {
     const auto b = data::take_batch(test, start, std::min(batch_size, n - start));
-    const auto mask = correct_mask(model, b.x, b.y);
+    const auto mask = correct_mask(model, b.x, b.y, compute);
     for (const bool ok : mask) correct += ok;
   }
   return static_cast<double>(correct) / static_cast<double>(n);
@@ -73,7 +78,7 @@ double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,
     const auto b =
         data::take_batch(test, start, std::min(cfg.batch_size, n - start));
     const Tensor x_adv = pgd(fn, b.x, b.y, pgd_cfg, rng);
-    const auto mask = correct_mask(model, x_adv, b.y);
+    const auto mask = correct_mask(model, x_adv, b.y, cfg.compute);
     for (const bool ok : mask) correct += ok;
   }
   return static_cast<double>(correct) / static_cast<double>(n);
@@ -83,7 +88,8 @@ RobustEvalResult evaluate_robustness(models::BuiltModel& model,
                                      const data::Dataset& test,
                                      const RobustEvalConfig& cfg) {
   RobustEvalResult result;
-  result.clean_acc = evaluate_clean(model, test, cfg.batch_size, cfg.max_samples);
+  result.clean_acc =
+      evaluate_clean(model, test, cfg.batch_size, cfg.max_samples, cfg.compute);
   result.pgd_acc = evaluate_pgd(model, test, cfg);
 
   // AutoAttackLite: a sample is robust only if it survives APGD-CE and
@@ -101,7 +107,7 @@ RobustEvalResult evaluate_robustness(models::BuiltModel& model,
   for (std::int64_t start = 0; start < n; start += cfg.batch_size) {
     const auto b =
         data::take_batch(test, start, std::min(cfg.batch_size, n - start));
-    auto surviving = correct_mask(model, b.x, b.y);
+    auto surviving = correct_mask(model, b.x, b.y, cfg.compute);
     for (int restart = 0; restart < cfg.aa_restarts; ++restart) {
       apgd_cfg.random_start = restart > 0;
       for (const auto* fn : {&ce_fn, use_dlr ? &dlr_fn : nullptr}) {
@@ -110,7 +116,7 @@ RobustEvalResult evaluate_robustness(models::BuiltModel& model,
                          [](bool v) { return v; }))
           break;
         const Tensor x_adv = apgd(*fn, b.x, b.y, apgd_cfg, rng);
-        const auto mask = correct_mask(model, x_adv, b.y);
+        const auto mask = correct_mask(model, x_adv, b.y, cfg.compute);
         for (std::size_t i = 0; i < surviving.size(); ++i)
           surviving[i] = surviving[i] && mask[i];
       }

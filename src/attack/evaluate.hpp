@@ -7,6 +7,7 @@
 #include "attack/attacks.hpp"
 #include "data/dataset.hpp"
 #include "models/built_model.hpp"
+#include "tensor/compute_mode.hpp"
 
 namespace fp::attack {
 
@@ -24,6 +25,11 @@ struct RobustEvalConfig {
   /// Cap on evaluated samples (<=0 = whole set); attacks are expensive on CPU.
   std::int64_t max_samples = -1;
   std::uint64_t seed = 99;
+  /// Kernels for the pure-inference forwards (the classification of clean
+  /// and adversarial batches). Attack generation itself stays fp32: its
+  /// forwards feed a backward, and perturbation search must not change with
+  /// the precision knob (DESIGN.md §8).
+  compute::ComputeConfig compute;
 };
 
 struct RobustEvalResult {
@@ -32,9 +38,11 @@ struct RobustEvalResult {
   double aa_acc = 0.0;
 };
 
-/// Clean accuracy only (cheap).
+/// Clean accuracy only (cheap). `compute` selects the inference kernels
+/// (default: fp32 blocked, the historical behaviour).
 double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
-                      std::int64_t batch_size = 100, std::int64_t max_samples = -1);
+                      std::int64_t batch_size = 100, std::int64_t max_samples = -1,
+                      const compute::ComputeConfig& compute = {});
 
 /// PGD-k adversarial accuracy.
 double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,

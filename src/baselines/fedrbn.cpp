@@ -104,11 +104,12 @@ fed::RoundRecord FedRbn::evaluate_snapshot(std::int64_t round,
   ecfg.epsilon = cfg_.epsilon0;
   ecfg.pgd_steps = pgd_steps;
   ecfg.max_samples = max_samples;
+  ecfg.compute = cfg_.compute;
   fed::RoundRecord rec;
   rec.round = round;
   use_adv_bank(false);
-  rec.clean_acc =
-      attack::evaluate_clean(model_, env_->test, ecfg.batch_size, max_samples);
+  rec.clean_acc = attack::evaluate_clean(model_, env_->test, ecfg.batch_size,
+                                         max_samples, ecfg.compute);
   use_adv_bank(true);
   rec.adv_acc = attack::evaluate_pgd(model_, env_->test, ecfg);
   use_adv_bank(false);

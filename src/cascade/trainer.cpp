@@ -47,6 +47,9 @@ Tensor CascadeLocalTrainer::block_input(const Tensor& x) {
   // a client memory scope their caches are released as the forward walks
   // (there is never a backward through the prefix), so the frozen prefix
   // contributes only a couple of flowing activations to the measured peak.
+  // This is the cascade's inference-only hot path: it honours the configured
+  // compute mode (int8 / Winograd), while the trained block stays fp32.
+  const compute::InferenceScope scope(cfg_.compute);
   if (mem::scope_active())
     return cascade_->model().forward_range_nocache(0, atom_begin_, x,
                                                    /*train=*/false);
@@ -168,11 +171,18 @@ PrefixAccuracy evaluate_prefix(CascadeState& cascade, std::size_t m,
   for (std::int64_t start = 0; start < n; start += cfg.batch_size) {
     const auto b =
         data::take_batch(dataset, start, std::min(cfg.batch_size, n - start));
-    const Tensor clean_logits = cascade.prefix_logits(m, b.x, false);
-    const auto clean_pred = clean_logits.argmax_rows();
+    std::vector<std::int64_t> clean_pred, adv_pred;
+    {
+      // Pure-inference classification forwards run under the configured
+      // compute mode; the attack below (fn) stays fp32.
+      const compute::InferenceScope scope(cfg.compute);
+      clean_pred = cascade.prefix_logits(m, b.x, false).argmax_rows();
+    }
     const Tensor x_adv = attack::pgd(fn, b.x, b.y, a, rng);
-    const Tensor adv_logits = cascade.prefix_logits(m, x_adv, false);
-    const auto adv_pred = adv_logits.argmax_rows();
+    {
+      const compute::InferenceScope scope(cfg.compute);
+      adv_pred = cascade.prefix_logits(m, x_adv, false).argmax_rows();
+    }
     for (std::size_t i = 0; i < clean_pred.size(); ++i) {
       clean_ok += clean_pred[i] == b.y[i];
       adv_ok += adv_pred[i] == b.y[i];

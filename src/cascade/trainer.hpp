@@ -14,6 +14,7 @@
 #include "cascade/cascade.hpp"
 #include "data/dataset.hpp"
 #include "nn/optimizer.hpp"
+#include "tensor/compute_mode.hpp"
 
 namespace fp::cascade {
 
@@ -25,6 +26,10 @@ struct LocalTrainConfig {
   int pgd_steps = 10;             ///< PGD-10 training (paper §7.1)
   bool adversarial = true;
   nn::SgdConfig sgd;
+  /// Kernels for the frozen-prefix forward (the fixed w*_m modules in front
+  /// of the trained block). The trained block itself always runs fp32 — its
+  /// forwards carry gradients (DESIGN.md §8).
+  compute::ComputeConfig compute;
 };
 
 class CascadeLocalTrainer {
@@ -79,6 +84,9 @@ struct PrefixEvalConfig {
   std::int64_t batch_size = 100;
   std::int64_t max_samples = 512;
   std::uint64_t seed = 17;
+  /// Kernels for the pure-inference classification forwards; the PGD attack
+  /// generation stays fp32 (its forwards feed a backward).
+  compute::ComputeConfig compute;
 };
 
 PrefixAccuracy evaluate_prefix(CascadeState& cascade, std::size_t m,

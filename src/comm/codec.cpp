@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "tensor/quant.hpp"
+
 namespace fp::comm {
 
 namespace {
@@ -150,10 +152,14 @@ nn::ParamBlob Fp16Codec::decode(const WireMessage& msg,
 
 // ---- Int8Codec --------------------------------------------------------------
 
+// The affine-parameter derivation, rounding, and error bound all live in
+// tensor/quant.hpp (quant::AffineGrid) — shared with the fake-quantization
+// grid and the int8 GEMM packs so there is one quantization implementation.
+
 double Int8Codec::grid_step(const nn::ParamBlob& blob) {
   if (blob.empty()) return 0.0;
   const auto [lo, hi] = std::minmax_element(blob.begin(), blob.end());
-  return (static_cast<double>(*hi) - static_cast<double>(*lo)) / 255.0;
+  return static_cast<double>(quant::affine_grid(*lo, *hi).scale);
 }
 
 WireMessage Int8Codec::encode(const nn::ParamBlob& blob,
@@ -164,23 +170,14 @@ WireMessage Int8Codec::encode(const nn::ParamBlob& blob,
   if (blob.empty()) return msg;
 
   const auto [lo_it, hi_it] = std::minmax_element(blob.begin(), blob.end());
-  const float lo = *lo_it;
   // Affine grid: x ~ lo + scale * q, q in [0, 255]. A constant blob encodes
   // with scale 0 and decodes exactly to lo.
-  const double range = static_cast<double>(*hi_it) - static_cast<double>(lo);
-  const float scale = static_cast<float>(range / 255.0);
+  const quant::AffineGrid grid = quant::affine_grid(*lo_it, *hi_it);
 
   msg.payload.reserve(2 * sizeof(float) + blob.size());
-  append_bytes(msg.payload, &lo, sizeof(lo));
-  append_bytes(msg.payload, &scale, sizeof(scale));
-  for (const float x : blob) {
-    double q = 0.0;
-    if (scale > 0.0f)
-      q = std::nearbyint((static_cast<double>(x) - static_cast<double>(lo)) /
-                         static_cast<double>(scale));
-    msg.payload.push_back(
-        static_cast<std::uint8_t>(std::clamp(q, 0.0, 255.0)));
-  }
+  append_bytes(msg.payload, &grid.lo, sizeof(grid.lo));
+  append_bytes(msg.payload, &grid.scale, sizeof(grid.scale));
+  for (const float x : blob) msg.payload.push_back(quant::affine_encode(grid, x));
   return msg;
 }
 
@@ -191,14 +188,12 @@ nn::ParamBlob Int8Codec::decode(const WireMessage& msg,
   if (blob.empty()) return blob;
   if (msg.payload.size() != 2 * sizeof(float) + msg.num_elems)
     throw std::invalid_argument("Int8Codec: payload size mismatch");
-  float lo = 0.0f, scale = 0.0f;
-  read_bytes(msg.payload, 0, &lo, sizeof(lo));
-  read_bytes(msg.payload, sizeof(lo), &scale, sizeof(scale));
+  quant::AffineGrid grid;
+  read_bytes(msg.payload, 0, &grid.lo, sizeof(grid.lo));
+  read_bytes(msg.payload, sizeof(grid.lo), &grid.scale, sizeof(grid.scale));
   const std::uint8_t* codes = msg.payload.data() + 2 * sizeof(float);
   for (std::size_t i = 0; i < blob.size(); ++i)
-    blob[i] = static_cast<float>(static_cast<double>(lo) +
-                                 static_cast<double>(scale) *
-                                     static_cast<double>(codes[i]));
+    blob[i] = quant::affine_decode(grid, codes[i]);
   return blob;
 }
 

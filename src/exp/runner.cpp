@@ -91,7 +91,7 @@ MethodRun make_fedrbn(Setup& s) {
     attack::RobustEvalResult m;
     a->use_adv_bank(false);
     m.clean_acc = attack::evaluate_clean(a->global_model(), env.test,
-                                         e.batch_size, e.max_samples);
+                                         e.batch_size, e.max_samples, e.compute);
     a->use_adv_bank(true);
     const auto adv = attack::evaluate_robustness(a->global_model(), env.test, e);
     m.pgd_acc = adv.pgd_acc;
@@ -256,6 +256,7 @@ attack::RobustEvalConfig eval_config(const ExperimentSpec& spec) {
   e.aa_steps = spec.eval_aa_steps;
   e.aa_restarts = spec.eval_aa_restarts;
   e.max_samples = spec.eval_max_samples;
+  e.compute = spec.fl.compute;
   return e;
 }
 

@@ -334,6 +334,30 @@ std::vector<KeyDef> build_schema() {
                   return s.fl.mem.device_mem_scale;
                 }));
 
+  // ---- compute::ComputeConfig -----------------------------------------------
+  {
+    KeyDef def;
+    def.key = "compute.precision";
+    def.kind = KeyKind::kString;
+    def.doc = "inference-forward kernels: fp32 or int8 (DESIGN.md §8)";
+    def.get = [](const ExperimentSpec& s) {
+      return std::string(compute::precision_name(s.fl.compute.precision));
+    };
+    def.set = [](ExperimentSpec& s, const std::string& v) {
+      if (v == "fp32")
+        s.fl.compute.precision = compute::Precision::kFp32;
+      else if (v == "int8")
+        s.fl.compute.precision = compute::Precision::kInt8;
+      else
+        throw SpecError(
+            unknown_name_message("compute.precision", v, {"fp32", "int8"}));
+    };
+    add(std::move(def));
+  }
+  add(field_key("compute.winograd",
+                "Winograd F(2x2,3x3) for inference 3x3 convolutions",
+                [](ExperimentSpec& s) -> bool& { return s.fl.compute.winograd; }));
+
   // ---- environment ----------------------------------------------------------
   add(field_key("env.public_set", "hold out a server-side public split (KD)",
                 [](ExperimentSpec& s) -> bool& { return s.with_public_set; }));

@@ -40,10 +40,12 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   ecfg.epsilon = cfg_.epsilon0;
   ecfg.pgd_steps = pgd_steps;
   ecfg.max_samples = max_samples;
+  ecfg.compute = cfg_.compute;
   RoundRecord rec;
   rec.round = round;
   rec.clean_acc = attack::evaluate_clean(global_model(), env_->test,
-                                         ecfg.batch_size, max_samples);
+                                         ecfg.batch_size, max_samples,
+                                         ecfg.compute);
   rec.adv_acc = attack::evaluate_pgd(global_model(), env_->test, ecfg);
   rec.sim_time_s = sim_time_.total();
   rec.bytes_up = total_stats_.bytes_up;

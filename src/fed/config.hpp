@@ -9,6 +9,7 @@
 #include "nn/optimizer.hpp"
 #include "sysmodel/cost_model.hpp"
 #include "sysmodel/device.hpp"
+#include "tensor/compute_mode.hpp"
 
 namespace fp::fed {
 
@@ -57,6 +58,11 @@ struct FlConfig {
   /// Memory-plane knobs (src/mem/, DESIGN.md §6). Defaults (no measurement,
   /// no budgets, no checkpointing) keep historical outputs bit-identical.
   mem::MemConfig mem;
+  /// Precision of inference-only forwards — the cascade's frozen prefix and
+  /// every evaluation pass (DESIGN.md §8). The default ({fp32, no winograd})
+  /// keeps historical outputs bit-identical; gradient-carrying forwards are
+  /// always fp32 regardless of this setting.
+  compute::ComputeConfig compute;
 };
 
 /// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).

@@ -11,6 +11,13 @@ FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
   env.cost_spec = std::move(cost_spec);
   env.cost_cfg.batch_size = cfg.fl.batch_size;
   env.cost_cfg.pgd_steps = cfg.fl.pgd_steps;
+  // Inference-kernel pricing follows the configured compute mode, so a
+  // quantized run shifts every simulated device time (sync slowest-client
+  // clocks and async event times alike) through train_step_cost's
+  // frozen-prefix discount.
+  env.cost_cfg.int8_inference =
+      cfg.fl.compute.precision == compute::Precision::kInt8;
+  env.cost_cfg.winograd_inference = cfg.fl.compute.winograd;
 
   data::Dataset train_pool = data.train;
   if (cfg.with_public_set) {

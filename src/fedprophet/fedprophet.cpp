@@ -154,6 +154,7 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
   tcfg.pgd_steps = cfg2_.fl.pgd_steps;
   tcfg.sgd = cfg2_.fl.sgd;
   tcfg.sgd.lr = round_lr_;
+  tcfg.compute = cfg2_.fl.compute;
   cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
   auto& batches = client_batches(k);
   for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
@@ -237,6 +238,7 @@ void FedProphet::fix_current_module() {
   tcfg.mu = cfg2_.mu;
   tcfg.eps_in = current_epsilon();
   tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+  tcfg.compute = cfg2_.fl.compute;
   cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
   double mean_dz = 0.0, mean_dz_dim = 0.0;
   int samples = 0;
@@ -277,6 +279,7 @@ void FedProphet::train() {
       cascade::PrefixEvalConfig ecfg;
       ecfg.epsilon0 = cfg2_.fl.epsilon0;
       ecfg.max_samples = cfg2_.val_samples;
+      ecfg.compute = cfg2_.fl.compute;
       const auto accs = cascade::evaluate_prefix(cascade_, stage_, env_->test, ecfg);
       last_clean_ = accs.clean;
       last_adv_ = accs.adv;

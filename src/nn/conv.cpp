@@ -4,8 +4,27 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/compute_mode.hpp"
 
 namespace fp::nn {
+
+namespace {
+/// Scatters [out_c, N*oh*ow] GEMM output back to NCHW, folding in the bias.
+void scatter_bias(const float* iocols, float* od, const float* bias,
+                  bool has_bias, std::int64_t n, std::int64_t out_channels,
+                  std::int64_t ohow, std::int64_t batch_cols) {
+  const std::int64_t out_plane = out_channels * ohow;
+  core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i)
+      for (std::int64_t c = 0; c < out_channels; ++c) {
+        const float* src = iocols + c * batch_cols + i * ohow;
+        float* dst = od + i * out_plane + c * ohow;
+        const float b = has_bias ? bias[c] : 0.0f;
+        for (std::int64_t p = 0; p < ohow; ++p) dst[p] = src[p] + b;
+      }
+  });
+}
+}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t padding,
@@ -29,6 +48,8 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
+  if (compute::int8_active() || compute::winograd_active())
+    return forward_inference(x);
   cached_input_ = x;
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
@@ -37,7 +58,6 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   const std::int64_t rows = g.col_rows();
   const std::int64_t batch_cols = n * ohow;
   const std::int64_t in_plane = in_channels_ * h * w;
-  const std::int64_t out_plane = out_channels_ * ohow;
 
   Tensor out({n, out_channels_, oh, ow});
   scratch_cols_.resize(static_cast<std::size_t>(rows * batch_cols));
@@ -56,19 +76,88 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   gemm(false, false, out_channels_, batch_cols, rows, 1.0f, weight_.data(),
        cols, 0.0f, scratch_iocols_.data());
 
-  // Scatter [out_c, N*oh*ow] back to NCHW, folding in the bias.
-  const float* iocols = scratch_iocols_.data();
-  const float* bias = bias_.data();
-  float* od = out.data();
+  scatter_bias(scratch_iocols_.data(), out.data(), bias_.data(), has_bias_, n,
+               out_channels_, ohow, batch_cols);
+  return out;
+}
+
+Tensor Conv2d::forward_inference(const Tensor& x) {
+  // Inference-only kernels never support a backward: drop the cached input so
+  // a stray backward() fails loudly instead of differentiating stale state.
+  cached_input_ = Tensor();
+  const bool use_int8 = compute::int8_active();
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Conv2dGeometry g{in_channels_, out_channels_, kernel_, stride_, padding_, h, w};
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ohow = oh * ow;
+  Tensor out({n, out_channels_, oh, ow});
+
+  if (compute::winograd_active() && winograd_eligible(g) &&
+      winograd_profitable(g, use_int8)) {
+    const std::uint64_t epoch = compute::weights_epoch();
+    if (wino_epoch_ != epoch || (use_int8 && wino_plan_.uq.empty() &&
+                                 winograd_int8_profitable(in_channels_))) {
+      const std::uint64_t hash = content_hash_fnv1a(
+          weight_.data(),
+          static_cast<std::size_t>(weight_.numel()) * sizeof(float));
+      if (wino_hash_ != hash || (use_int8 && wino_plan_.uq.empty())) {
+        winograd_build_plan(weight_.data(), out_channels_, in_channels_,
+                            use_int8, wino_plan_);
+        wino_hash_ = hash;
+      }
+      wino_epoch_ = epoch;
+    }
+    scratch_wino_v_.resize(static_cast<std::size_t>(winograd_v_elems(g, n)));
+    scratch_wino_m_.resize(static_cast<std::size_t>(winograd_m_elems(g, n)));
+    winograd_conv_forward(g, x.data(), n, wino_plan_,
+                          has_bias_ ? bias_.data() : nullptr, out.data(),
+                          use_int8, scratch_wino_v_.data(),
+                          scratch_wino_m_.data());
+    return out;
+  }
+
+  // Ineligible (stride != 1 or kernel != 3) and unprofitable (stem-like or
+  // tile-starved, see winograd_profitable) shapes keep the im2col unfold;
+  // int8 runs the quantize-on-pack GEMM on the columns when the product is
+  // deep enough to amortize it (qgemm_profitable), fp32 the blocked one.
+  const std::int64_t rows = g.col_rows();
+  const std::int64_t batch_cols = n * ohow;
+  const std::int64_t in_plane = in_channels_ * h * w;
+  scratch_cols_.resize(static_cast<std::size_t>(rows * batch_cols));
+  scratch_iocols_.resize(static_cast<std::size_t>(out_channels_ * batch_cols));
+  const float* xd = x.data();
+  float* cols = scratch_cols_.data();
   core::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t i = b0; i < b1; ++i)
-      for (std::int64_t c = 0; c < out_channels_; ++c) {
-        const float* src = iocols + c * batch_cols + i * ohow;
-        float* dst = od + i * out_plane + c * ohow;
-        const float b = has_bias_ ? bias[c] : 0.0f;
-        for (std::int64_t p = 0; p < ohow; ++p) dst[p] = src[p] + b;
-      }
+      im2col(g, xd + i * in_plane, cols + i * ohow, batch_cols);
   });
+
+  if (use_int8 && qgemm_profitable(rows)) {
+    const std::uint64_t epoch = compute::weights_epoch();
+    if (qweight_epoch_ != epoch || qweight_.rows != out_channels_) {
+      const std::uint64_t hash = content_hash_fnv1a(
+          weight_.data(),
+          static_cast<std::size_t>(weight_.numel()) * sizeof(float));
+      if (qweight_hash_ != hash || qweight_.rows != out_channels_) {
+        // Weight layout [oc, ic, k, k] is already the im2col [oc, rows]
+        // matrix.
+        quantize_rows_int8(weight_.data(), out_channels_, rows, rows,
+                           qweight_);
+        qweight_hash_ = hash;
+      }
+      qweight_epoch_ = epoch;
+    }
+    thread_local QuantizedMat qcols;
+    quantize_cols_int8(cols, rows, batch_cols, batch_cols, qcols);
+    qgemm_nt(out_channels_, batch_cols, qweight_, qcols,
+             scratch_iocols_.data(), batch_cols);
+  } else {
+    gemm(false, false, out_channels_, batch_cols, rows, 1.0f, weight_.data(),
+         cols, 0.0f, scratch_iocols_.data());
+  }
+
+  scatter_bias(scratch_iocols_.data(), out.data(), bias_.data(), has_bias_, n,
+               out_channels_, ohow, batch_cols);
   return out;
 }
 
@@ -135,6 +224,8 @@ void Conv2d::drop_cached_activations() {
   Scratch().swap(scratch_cols_);
   Scratch().swap(scratch_iocols_);
   Scratch().swap(scratch_grad_cols_);
+  Scratch().swap(scratch_wino_v_);
+  Scratch().swap(scratch_wino_m_);
 }
 
 std::vector<Tensor*> Conv2d::parameters() {

@@ -9,6 +9,8 @@
 
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/qgemm.hpp"
+#include "tensor/winograd.hpp"
 
 namespace fp::nn {
 
@@ -37,6 +39,10 @@ class Conv2d final : public Layer {
   Tensor& bias() { return bias_; }
 
  private:
+  /// forward() under an active compute::InferenceScope: Winograd and/or int8
+  /// routing, no activation caching (backward through it would be a bug).
+  Tensor forward_inference(const Tensor& x);
+
   std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
   bool has_bias_;
   Tensor weight_;       ///< [out, in, k, k]
@@ -53,6 +59,21 @@ class Conv2d final : public Layer {
   Scratch scratch_cols_;    ///< im2col of the minibatch [rows, N*oh*ow]
   Scratch scratch_iocols_;  ///< output/grad-output as [out_c, N*oh*ow]
   Scratch scratch_grad_cols_;
+
+  // Inference-path caches (DESIGN.md §8), keyed by a content hash of the
+  // weights so a frozen layer transforms/quantizes once and an updated layer
+  // rebuilds on its next inference forward. The hash itself is only
+  // recomputed when compute::weights_epoch() moves (weights are immutable
+  // while an InferenceScope is active), so steady-state eval forwards skip
+  // even the hash pass.
+  Scratch scratch_wino_v_;  ///< V slabs [16, tiles, in_c]
+  Scratch scratch_wino_m_;  ///< M slabs [16, out_c, tiles]
+  WinogradPlan wino_plan_;
+  std::uint64_t wino_hash_ = 0;
+  std::uint64_t wino_epoch_ = 0;
+  QuantizedMat qweight_;    ///< im2col-layout weights [out_c, in_c*k*k]
+  std::uint64_t qweight_hash_ = 0;
+  std::uint64_t qweight_epoch_ = 0;
 };
 
 }  // namespace fp::nn

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/compute_mode.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::nn {
@@ -27,12 +28,42 @@ Tensor Linear::forward(const Tensor& x, bool /*train*/) {
   const std::int64_t features = x.numel() / n;
   if (features != in_features_)
     throw std::invalid_argument("Linear: feature mismatch, got " + x.shape_str());
-  cached_input_shape_ = x.shape();
-  cached_input_ = x.reshape({n, in_features_});
   Tensor out({n, out_features_});
-  // out = x * W^T
-  gemm(false, true, n, out_features_, in_features_, 1.0f, cached_input_.data(),
-       weight_.data(), 0.0f, out.data());
+  if (compute::int8_active()) {
+    // Inference-only quantized path: no activation caching (a backward after
+    // this forward must fail loudly, not differentiate stale state).
+    cached_input_ = Tensor();
+    cached_input_shape_.clear();
+    const Tensor x2 = x.reshape({n, in_features_});
+    if (qgemm_profitable(in_features_)) {
+      const std::uint64_t epoch = compute::weights_epoch();
+      if (qweight_epoch_ != epoch || qweight_.rows != out_features_) {
+        const std::uint64_t hash = content_hash_fnv1a(
+            weight_.data(),
+            static_cast<std::size_t>(weight_.numel()) * sizeof(float));
+        if (qweight_hash_ != hash || qweight_.rows != out_features_) {
+          quantize_rows_int8(weight_.data(), out_features_, in_features_,
+                             in_features_, qweight_);
+          qweight_hash_ = hash;
+        }
+        qweight_epoch_ = epoch;
+      }
+      thread_local QuantizedMat qacts;
+      quantize_rows_int8(x2.data(), n, in_features_, in_features_, qacts);
+      // out = x * W^T: both packs are K-contiguous rows, the qgemm shape.
+      qgemm_nt(n, out_features_, qacts, qweight_, out.data(), out_features_);
+    } else {
+      // Too shallow to amortize quantize-on-pack: fp32 GEMM, still no cache.
+      gemm(false, true, n, out_features_, in_features_, 1.0f, x2.data(),
+           weight_.data(), 0.0f, out.data());
+    }
+  } else {
+    cached_input_shape_ = x.shape();
+    cached_input_ = x.reshape({n, in_features_});
+    // out = x * W^T
+    gemm(false, true, n, out_features_, in_features_, 1.0f, cached_input_.data(),
+         weight_.data(), 0.0f, out.data());
+  }
   if (has_bias_) {
     float* od = out.data();
     const float* bias = bias_.data();

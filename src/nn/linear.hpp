@@ -4,6 +4,7 @@
 #pragma once
 
 #include "nn/layer.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace fp::nn {
 
@@ -37,6 +38,13 @@ class Linear final : public Layer {
   Tensor grad_bias_;
   Tensor cached_input_;  ///< [N, in] (flattened view of the forward input)
   std::vector<std::int64_t> cached_input_shape_;
+
+  // int8 inference cache (DESIGN.md §8): weight rows are already the
+  // K-contiguous layout qgemm wants ([out, in], out = x * W^T), packed once
+  // per weight content and reused across eval forwards.
+  QuantizedMat qweight_;
+  std::uint64_t qweight_hash_ = 0;
+  std::uint64_t qweight_epoch_ = 0;
 };
 
 }  // namespace fp::nn

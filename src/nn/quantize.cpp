@@ -1,28 +1,31 @@
 #include "nn/quantize.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "sysmodel/cost_model.hpp"
+#include "tensor/quant.hpp"
 
 namespace fp::nn {
+
+// Both functions are thin wrappers over the shared symmetric grid in
+// tensor/quant.hpp — the same step/rounding/error-bound definitions the int8
+// GEMM packs use, so the simulated low-bit training and the real quantized
+// kernels can never disagree about the grid.
 
 Tensor fake_quantize(const Tensor& t, int bits) {
   if (bits < 2) throw std::invalid_argument("fake_quantize: bits < 2");
   if (bits >= 16) return t;
   const float absmax = t.abs_max();
   if (absmax == 0.0f) return t;
-  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
-  const float step = absmax / levels;
+  const float step = quant::symmetric_step(absmax, bits);
   Tensor out = t;
-  for (auto& v : out.span()) v = step * std::nearbyint(v / step);
+  for (auto& v : out.span()) v = quant::symmetric_round(v, step);
   return out;
 }
 
 float quantization_error_bound(const Tensor& t, int bits) {
   if (bits >= 16) return 0.0f;
-  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
-  return t.abs_max() / levels * 0.5f;
+  return quant::error_bound(quant::symmetric_step(t.abs_max(), bits));
 }
 
 std::int64_t low_bit_mem_bytes(const sys::ModelSpec& model, std::size_t begin,

@@ -69,6 +69,18 @@ StepCost train_step_cost(const ModelSpec& model, std::size_t begin, std::size_t 
                                               with_aux_head));
   const double prefix_fwd = static_cast<double>(
       module_forward_macs(model, 0, begin, cfg.batch_size, false));
+  // The frozen-prefix forward is inference-only, so it is the one term the
+  // quantized/transformed kernels discount: MACs retire int8_speedup /
+  // winograd_speedup times faster, at a quant_overhead_frac surcharge for
+  // quantize-on-pack and tile transforms (DESIGN.md §8). Gradient-carrying
+  // passes below always price at the fp32 rate.
+  double speedup = 1.0;
+  if (cfg.int8_inference) speedup *= cfg.int8_speedup;
+  if (cfg.winograd_inference) speedup *= cfg.winograd_speedup;
+  const double overhead =
+      speedup > 1.0 ? cfg.quant_overhead_frac * prefix_fwd : 0.0;
+  const double prefix_eff = prefix_fwd / speedup + overhead;
+  cost.inference_flops = cfg.flops_scale * prefix_eff;
   // PGD-n: n attack iterations (forward + input-gradient backward) plus the
   // final parameter-update forward + backward. Standard training: 1 + 1.
   // Activation checkpointing adds recompute_fwd_frac of the forward to every
@@ -76,7 +88,7 @@ StepCost train_step_cost(const ModelSpec& model, std::size_t begin, std::size_t 
   const int passes = cfg.pgd_steps + 1;
   cost.compute_flops =
       cfg.flops_scale *
-      (prefix_fwd +
+      (prefix_eff +
        passes * fwd * (1.0 + cfg.backward_factor + cfg.recompute_fwd_frac));
 
   // Swap decision: the mem planner's measured-plane peak (when provided)

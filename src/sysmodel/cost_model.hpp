@@ -40,6 +40,22 @@ struct TrainCostConfig {
   /// Fraction of the module forward re-executed per traversal by activation
   /// checkpointing — priced as extra forward FLOPs instead of swap traffic.
   double recompute_fwd_frac = 0.0;
+
+  // ---- inference-kernel pricing (tensor subsystem, DESIGN.md §8) -----------
+  /// The frozen-prefix forward runs on the int8 GEMM path. Prices the prefix
+  /// MACs at 1/int8_speedup plus quant_overhead_frac for quantize-on-pack.
+  bool int8_inference = false;
+  /// The frozen-prefix 3x3 convolutions run through Winograd F(2x2,3x3).
+  bool winograd_inference = false;
+  /// Effective MAC-rate multiplier of the int8 kernels over fp32 blocked
+  /// (VNNI/maddubs lanes; matches the >= 2x bench_micro acceptance bar).
+  double int8_speedup = 2.0;
+  /// Effective multiplier of the Winograd transform's 2.25x MAC reduction
+  /// after transform overheads.
+  double winograd_speedup = 1.8;
+  /// Extra fraction of the un-discounted prefix MACs charged for activation
+  /// quantization / tile transforms per inference pass.
+  double quant_overhead_frac = 0.05;
 };
 
 /// Memory (bytes) to train atoms [begin, end) of `model` plus an auxiliary
@@ -61,6 +77,9 @@ std::int64_t aux_head_params(const ModelSpec& model, std::size_t end);
 
 struct StepCost {
   double compute_flops = 0.0;  ///< total MACs of one local iteration
+  /// Portion of compute_flops spent on the inference-only frozen-prefix
+  /// forward, AFTER the int8/Winograd discount (0 when begin == 0).
+  double inference_flops = 0.0;
   double swap_bytes = 0.0;     ///< bytes moved to/from external storage
   int swap_traversals = 0;     ///< number of swapped forward/backward passes
 };

@@ -16,12 +16,17 @@ void check_2d(const Tensor& t, const char* what) {
 void gemm_reference(bool transpose_a, bool transpose_b, std::int64_t m,
                     std::int64_t n, std::int64_t k, float alpha, const float* a,
                     const float* b, float beta, float* c) {
+  // Degenerate-dim contract, identical to the blocked gemm (and qgemm): an
+  // empty output is a no-op, an empty reduction applies beta and skips the
+  // product entirely (so alpha == 0 never reads A/B — no NaN propagation).
+  if (m <= 0 || n <= 0) return;
   // Scale / clear the destination first so the kernels can accumulate.
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   } else if (beta != 1.0f) {
     for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
   }
+  if (k <= 0 || alpha == 0.0f) return;
   if (!transpose_a && !transpose_b) {
     // A[m,k] * B[k,n]: i-k-j streams rows of B — cache friendly.
     for (std::int64_t i = 0; i < m; ++i) {

@@ -23,7 +23,9 @@ void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
           float* c);
 
 /// The seed's straightforward single-threaded loops, kept as the parity
-/// oracle for the blocked kernel and as the benchmark baseline.
+/// oracle for the blocked kernel and as the benchmark baseline. Degenerate
+/// dims follow the blocked kernel's contract exactly: m/n <= 0 is a no-op,
+/// k <= 0 or alpha == 0 applies beta and skips the product.
 void gemm_reference(bool transpose_a, bool transpose_b, std::int64_t m,
                     std::int64_t n, std::int64_t k, float alpha, const float* a,
                     const float* b, float beta, float* c);

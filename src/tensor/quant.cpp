@@ -1,0 +1,63 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fp::quant {
+
+float symmetric_levels(int bits) {
+  return static_cast<float>((1 << (bits - 1)) - 1);
+}
+
+float symmetric_step(float absmax, int bits) {
+  return absmax / symmetric_levels(bits);
+}
+
+float symmetric_round(float v, float step) {
+  return step * std::nearbyint(v / step);
+}
+
+float error_bound(float step) { return step * 0.5f; }
+
+AffineGrid affine_grid(float lo, float hi) {
+  AffineGrid g;
+  g.lo = lo;
+  // A constant range encodes with scale 0 and decodes exactly to lo.
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  g.scale = static_cast<float>(range / 255.0);
+  return g;
+}
+
+std::uint8_t affine_encode(const AffineGrid& g, float x) {
+  double q = 0.0;
+  if (g.scale > 0.0f)
+    q = std::nearbyint((static_cast<double>(x) - static_cast<double>(g.lo)) /
+                       static_cast<double>(g.scale));
+  return static_cast<std::uint8_t>(std::clamp(q, 0.0, 255.0));
+}
+
+float affine_decode(const AffineGrid& g, std::uint8_t q) {
+  return static_cast<float>(static_cast<double>(g.lo) +
+                            static_cast<double>(g.scale) *
+                                static_cast<double>(q));
+}
+
+void quantize_block_int8(const float* x, std::int64_t n, std::int8_t* codes,
+                         float* step) {
+  float absmax = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) absmax = std::max(absmax, std::fabs(x[i]));
+  if (absmax == 0.0f) {
+    *step = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) codes[i] = 0;
+    return;
+  }
+  const float s = symmetric_step(absmax, 8);
+  const float inv = 1.0f / s;
+  *step = s;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float q = std::nearbyint(x[i] * inv);
+    codes[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+}
+
+}  // namespace fp::quant

@@ -1,0 +1,333 @@
+#include "tensor/winograd.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define FP_WINOGRAD_SSE 1
+#endif
+
+namespace fp {
+
+namespace {
+
+/// Tiles per spatial dimension of one sample.
+std::int64_t tiles_h(const Conv2dGeometry& g) { return (g.out_h() + 1) / 2; }
+std::int64_t tiles_w(const Conv2dGeometry& g) { return (g.out_w() + 1) / 2; }
+
+/// U = G g G^T for one 3x3 filter; writes the 16 coefficients strided by
+/// `stride` (xi planes), G = [1,0,0; .5,.5,.5; .5,-.5,.5; 0,0,1].
+void transform_filter(const float* g3, float* u, std::int64_t stride) {
+  float t[4][3];  // G * g
+  for (std::int64_t j = 0; j < 3; ++j) {
+    const float g0 = g3[0 * 3 + j], g1 = g3[1 * 3 + j], g2 = g3[2 * 3 + j];
+    t[0][j] = g0;
+    t[1][j] = 0.5f * (g0 + g1 + g2);
+    t[2][j] = 0.5f * (g0 - g1 + g2);
+    t[3][j] = g2;
+  }
+  for (std::int64_t r = 0; r < 4; ++r) {  // (G g) * G^T
+    const float t0 = t[r][0], t1 = t[r][1], t2 = t[r][2];
+    u[(r * 4 + 0) * stride] = t0;
+    u[(r * 4 + 1) * stride] = 0.5f * (t0 + t1 + t2);
+    u[(r * 4 + 2) * stride] = 0.5f * (t0 - t1 + t2);
+    u[(r * 4 + 3) * stride] = t2;
+  }
+}
+
+/// V = B^T d B for one gathered 4x4 input tile,
+/// B^T = [1,0,-1,0; 0,1,1,0; 0,-1,1,0; 0,1,0,-1].
+void transform_input(const float d[4][4], float out[16]) {
+  float t[4][4];  // B^T * d
+  for (std::int64_t j = 0; j < 4; ++j) {
+    t[0][j] = d[0][j] - d[2][j];
+    t[1][j] = d[1][j] + d[2][j];
+    t[2][j] = d[2][j] - d[1][j];
+    t[3][j] = d[1][j] - d[3][j];
+  }
+  for (std::int64_t r = 0; r < 4; ++r) {  // (B^T d) * B
+    out[r * 4 + 0] = t[r][0] - t[r][2];
+    out[r * 4 + 1] = t[r][1] + t[r][2];
+    out[r * 4 + 2] = t[r][2] - t[r][1];
+    out[r * 4 + 3] = t[r][1] - t[r][3];
+  }
+}
+
+/// Y = A^T m A for one 4x4 product tile, A^T = [1,1,1,0; 0,1,-1,-1].
+void transform_output(const float mt[16], float y[2][2]) {
+  float t[2][4];  // A^T * m
+  for (std::int64_t j = 0; j < 4; ++j) {
+    t[0][j] = mt[0 * 4 + j] + mt[1 * 4 + j] + mt[2 * 4 + j];
+    t[1][j] = mt[1 * 4 + j] - mt[2 * 4 + j] - mt[3 * 4 + j];
+  }
+  for (std::int64_t r = 0; r < 2; ++r) {
+    y[r][0] = t[r][0] + t[r][1] + t[r][2];
+    y[r][1] = t[r][1] - t[r][2] - t[r][3];
+  }
+}
+
+#ifdef FP_WINOGRAD_SSE
+
+// SSE lane-parallel variants of the transforms (baseline x86-64 ISA, no
+// dispatch needed). The arithmetic is identical to the scalar versions —
+// same adds in the same order, just on 4 independent lanes (4 channels for
+// the input transform, 4 tiles for the output transform) — so vector and
+// scalar paths produce bit-identical results.
+
+/// V = B^T d B on 4 lanes at once.
+void transform_input_x4(const __m128 d[4][4], __m128 out[16]) {
+  __m128 t[4][4];  // B^T * d
+  for (std::int64_t j = 0; j < 4; ++j) {
+    t[0][j] = _mm_sub_ps(d[0][j], d[2][j]);
+    t[1][j] = _mm_add_ps(d[1][j], d[2][j]);
+    t[2][j] = _mm_sub_ps(d[2][j], d[1][j]);
+    t[3][j] = _mm_sub_ps(d[1][j], d[3][j]);
+  }
+  for (std::int64_t r = 0; r < 4; ++r) {
+    out[r * 4 + 0] = _mm_sub_ps(t[r][0], t[r][2]);
+    out[r * 4 + 1] = _mm_add_ps(t[r][1], t[r][2]);
+    out[r * 4 + 2] = _mm_sub_ps(t[r][2], t[r][1]);
+    out[r * 4 + 3] = _mm_sub_ps(t[r][1], t[r][3]);
+  }
+}
+
+/// Y = A^T m A on 4 lanes at once.
+void transform_output_x4(const __m128 mt[16], __m128 y[2][2]) {
+  __m128 t[2][4];
+  for (std::int64_t j = 0; j < 4; ++j) {
+    t[0][j] = _mm_add_ps(_mm_add_ps(mt[0 * 4 + j], mt[1 * 4 + j]), mt[2 * 4 + j]);
+    t[1][j] = _mm_sub_ps(_mm_sub_ps(mt[1 * 4 + j], mt[2 * 4 + j]), mt[3 * 4 + j]);
+  }
+  for (std::int64_t r = 0; r < 2; ++r) {
+    y[r][0] = _mm_add_ps(_mm_add_ps(t[r][0], t[r][1]), t[r][2]);
+    y[r][1] = _mm_sub_ps(_mm_sub_ps(t[r][1], t[r][2]), t[r][3]);
+  }
+}
+
+#endif  // FP_WINOGRAD_SSE
+
+}  // namespace
+
+bool winograd_eligible(const Conv2dGeometry& g) {
+  return g.kernel == 3 && g.stride == 1 && g.out_h() >= 1 && g.out_w() >= 1;
+}
+
+bool winograd_int8_profitable(std::int64_t ic) { return ic >= 96; }
+
+bool winograd_profitable(const Conv2dGeometry& g, bool use_int8) {
+  if (g.in_channels < 16) return false;
+  if (use_int8 && winograd_int8_profitable(g.in_channels)) return true;
+  return tiles_h(g) * tiles_w(g) >= 4;
+}
+
+std::int64_t winograd_tiles(const Conv2dGeometry& g, std::int64_t batch) {
+  return batch * tiles_h(g) * tiles_w(g);
+}
+
+std::int64_t winograd_v_elems(const Conv2dGeometry& g, std::int64_t batch) {
+  return 16 * winograd_tiles(g, batch) * g.in_channels;
+}
+
+std::int64_t winograd_m_elems(const Conv2dGeometry& g, std::int64_t batch) {
+  return 16 * winograd_tiles(g, batch) * g.out_channels;
+}
+
+void winograd_build_plan(const float* weights, std::int64_t oc, std::int64_t ic,
+                         bool with_int8, WinogradPlan& plan) {
+  plan.oc = oc;
+  plan.ic = ic;
+  const std::int64_t plane = oc * ic;
+  plan.u.resize(static_cast<std::size_t>(16 * plane));
+  core::parallel_for(0, oc, 4, [&](std::int64_t o0, std::int64_t o1) {
+    for (std::int64_t o = o0; o < o1; ++o)
+      for (std::int64_t c = 0; c < ic; ++c)
+        transform_filter(weights + (o * ic + c) * 9, plan.u.data() + o * ic + c,
+                         plane);
+  });
+  plan.uq.clear();
+  if (with_int8 && winograd_int8_profitable(ic)) {
+    plan.uq.resize(16);
+    for (std::int64_t xi = 0; xi < 16; ++xi)
+      quantize_rows_int8(plan.u.data() + xi * plane, oc, ic, ic, plan.uq[xi]);
+  }
+}
+
+void winograd_conv_forward(const Conv2dGeometry& g, const float* x,
+                           std::int64_t batch, const WinogradPlan& plan,
+                           const float* bias, float* out, bool use_int8,
+                           float* v, float* m) {
+  const std::int64_t ic = g.in_channels, oc = g.out_channels;
+  const std::int64_t h = g.in_h, w = g.in_w;
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t th = tiles_h(g), tw = tiles_w(g);
+  const std::int64_t tiles_per_sample = th * tw;
+  const std::int64_t tiles = batch * tiles_per_sample;
+  const std::int64_t in_plane = h * w;
+  const std::int64_t v_plane = tiles * ic;   // one xi slab of V
+  const std::int64_t m_plane = tiles * oc;   // one xi slab of M
+
+  // Gather + input transform: tile t, channel c -> V[xi][t * ic + c]. Each
+  // tile covers input rows [2*ty - pad, 2*ty - pad + 4) (same for columns);
+  // out-of-bounds taps are zero, matching im2col's padding. The 16 xi values
+  // of a whole tile are staged in a [16, ic] buffer so the scatter into the
+  // xi slabs becomes 16 contiguous ic-float runs per tile instead of 16
+  // single-float writes per channel (the slabs are v_plane apart — unstaged,
+  // every write is its own cache line).
+  core::parallel_for(0, tiles, 8, [&](std::int64_t t0, std::int64_t t1) {
+    std::vector<float> buf(static_cast<std::size_t>(16 * ic));
+    float d[4][4];
+    float tv[16];
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t s = t / tiles_per_sample;
+      const std::int64_t ty = (t % tiles_per_sample) / tw;
+      const std::int64_t tx = t % tw;
+      const std::int64_t y0 = 2 * ty - g.padding;
+      const std::int64_t x0 = 2 * tx - g.padding;
+      const float* sample = x + s * ic * in_plane;
+      const bool interior =
+          y0 >= 0 && y0 + 4 <= h && x0 >= 0 && x0 + 4 <= w;
+      std::int64_t c = 0;
+#ifdef FP_WINOGRAD_SSE
+      if (interior) {
+        // 4 channels per step: transpose the 4x(4 floats) gathers into
+        // channel-lane SoA form, transform all 4 lanes at once, and store
+        // each xi's 4 channel values contiguously into the stage.
+        for (; c + 4 <= ic; c += 4) {
+          const float* base = sample + c * in_plane + y0 * w + x0;
+          __m128 dv[4][4];
+          for (std::int64_t r = 0; r < 4; ++r) {
+            __m128 a0 = _mm_loadu_ps(base + r * w);
+            __m128 a1 = _mm_loadu_ps(base + in_plane + r * w);
+            __m128 a2 = _mm_loadu_ps(base + 2 * in_plane + r * w);
+            __m128 a3 = _mm_loadu_ps(base + 3 * in_plane + r * w);
+            _MM_TRANSPOSE4_PS(a0, a1, a2, a3);
+            dv[r][0] = a0;
+            dv[r][1] = a1;
+            dv[r][2] = a2;
+            dv[r][3] = a3;
+          }
+          __m128 tvv[16];
+          transform_input_x4(dv, tvv);
+          for (std::int64_t xi = 0; xi < 16; ++xi)
+            _mm_storeu_ps(buf.data() + xi * ic + c, tvv[xi]);
+        }
+      }
+#endif
+      for (; c < ic; ++c) {
+        const float* chan = sample + c * in_plane;
+        if (interior) {
+          const float* row = chan + y0 * w + x0;
+          for (std::int64_t r = 0; r < 4; ++r, row += w) {
+            d[r][0] = row[0];
+            d[r][1] = row[1];
+            d[r][2] = row[2];
+            d[r][3] = row[3];
+          }
+        } else {
+          for (std::int64_t r = 0; r < 4; ++r) {
+            const std::int64_t iy = y0 + r;
+            if (iy < 0 || iy >= h) {
+              d[r][0] = d[r][1] = d[r][2] = d[r][3] = 0.0f;
+              continue;
+            }
+            const float* row = chan + iy * w;
+            for (std::int64_t q = 0; q < 4; ++q) {
+              const std::int64_t ix = x0 + q;
+              d[r][q] = (ix >= 0 && ix < w) ? row[ix] : 0.0f;
+            }
+          }
+        }
+        transform_input(d, tv);
+        for (std::int64_t xi = 0; xi < 16; ++xi) buf[xi * ic + c] = tv[xi];
+      }
+      for (std::int64_t xi = 0; xi < 16; ++xi)
+        std::memcpy(v + xi * v_plane + t * ic, buf.data() + xi * ic,
+                    static_cast<std::size_t>(ic) * sizeof(float));
+    }
+  });
+
+  // 16 independent tile GEMMs: M[xi] [oc, tiles] = U[xi] [oc, ic] * V[xi]^T.
+  // Each call parallelizes internally over the pool, so the xi loop stays
+  // sequential (deterministic and cache-friendly on the V slabs).
+  if (use_int8 && winograd_int8_profitable(ic)) {
+    thread_local QuantizedMat vq;
+    for (std::int64_t xi = 0; xi < 16; ++xi) {
+      quantize_rows_int8(v + xi * v_plane, tiles, ic, ic, vq);
+      qgemm_nt(oc, tiles, plan.uq[static_cast<std::size_t>(xi)], vq,
+               m + xi * m_plane, tiles);
+    }
+  } else {
+    for (std::int64_t xi = 0; xi < 16; ++xi)
+      gemm(false, true, oc, tiles, ic, 1.0f, plan.u.data() + xi * oc * ic,
+           v + xi * v_plane, 0.0f, m + xi * m_plane);
+  }
+
+  // Output transform + bias, clipping the 2x2 patch at the edges. Tiles are
+  // processed in blocks: for each (output channel, tile block) the 16 xi
+  // planes of M are copied with contiguous reads into a [16, block] stage,
+  // turning the naive gather (16 reads m_plane apart per tile) into 16
+  // streaming runs per block.
+  constexpr std::int64_t kTileBlock = 32;
+  core::parallel_for(0, tiles, 8, [&](std::int64_t t0, std::int64_t t1) {
+    float stage[16 * kTileBlock];
+    float mt[16];
+    float y[2][2];
+    for (std::int64_t tb = t0; tb < t1; tb += kTileBlock) {
+      const std::int64_t tn = std::min(kTileBlock, t1 - tb);
+      for (std::int64_t o = 0; o < oc; ++o) {
+        for (std::int64_t xi = 0; xi < 16; ++xi)
+          std::memcpy(stage + xi * kTileBlock, m + xi * m_plane + o * tiles + tb,
+                      static_cast<std::size_t>(tn) * sizeof(float));
+        const float b = bias != nullptr ? bias[o] : 0.0f;
+        auto scatter = [&](std::int64_t t, const float yt[2][2]) {
+          const std::int64_t s = t / tiles_per_sample;
+          const std::int64_t ty = (t % tiles_per_sample) / tw;
+          const std::int64_t tx = t % tw;
+          float* chan = out + (s * oc + o) * oh * ow;
+          for (std::int64_t r = 0; r < 2; ++r) {
+            const std::int64_t oy = 2 * ty + r;
+            if (oy >= oh) break;
+            for (std::int64_t q = 0; q < 2; ++q) {
+              const std::int64_t ox = 2 * tx + q;
+              if (ox >= ow) break;
+              chan[oy * ow + ox] = yt[r][q] + b;
+            }
+          }
+        };
+        std::int64_t tt = 0;
+#ifdef FP_WINOGRAD_SSE
+        // 4 tiles per step: the stage rows are tile-contiguous, so the 16
+        // loads are plain vectors and the transform runs on 4 tile lanes.
+        for (; tt + 4 <= tn; tt += 4) {
+          __m128 mtv[16];
+          for (std::int64_t xi = 0; xi < 16; ++xi)
+            mtv[xi] = _mm_loadu_ps(stage + xi * kTileBlock + tt);
+          __m128 yv[2][2];
+          transform_output_x4(mtv, yv);
+          alignas(16) float yl[2][2][4];
+          for (std::int64_t r = 0; r < 2; ++r)
+            for (std::int64_t q = 0; q < 2; ++q)
+              _mm_store_ps(yl[r][q], yv[r][q]);
+          for (std::int64_t l = 0; l < 4; ++l) {
+            const float yt[2][2] = {{yl[0][0][l], yl[0][1][l]},
+                                    {yl[1][0][l], yl[1][1][l]}};
+            scatter(tb + tt + l, yt);
+          }
+        }
+#endif
+        for (; tt < tn; ++tt) {
+          for (std::int64_t xi = 0; xi < 16; ++xi)
+            mt[xi] = stage[xi * kTileBlock + tt];
+          transform_output(mt, y);
+          scatter(tb + tt, y);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace fp

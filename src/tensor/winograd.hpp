@@ -1,0 +1,80 @@
+// Winograd F(2x2,3x3) convolution for inference forwards (DESIGN.md §8).
+//
+// The classic minimal-filtering factorization (Lavin & Gray 2016), in the
+// scatter-gather form FlexNN-style engines use on CPUs: the input is cut
+// into 4x4 tiles overlapping by 2, every tile/channel is transformed with
+// V = B^T d B, the cached kernel transform U = G g G^T turns the per-tile
+// products into 16 independent [oc, ic] x [ic, tiles] GEMMs (reusing the
+// blocked fp32 GEMM, or the int8 qgemm when that precision is active), and
+// Y = A^T M A folds each product tile back to a 2x2 output patch. 3x3
+// stride-1 convs drop from 9 to 16/4 = 4 multiplies per output — ~2.25x
+// fewer FLOPs, and the GEMMs are large and dense.
+//
+// Shapes that do not fit (kernel != 3, stride != 1) fall back to im2col; the
+// caller checks winograd_eligible first. Overhanging tiles at the right and
+// bottom edges are zero-filled on gather and clipped on scatter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/qgemm.hpp"
+
+namespace fp {
+
+/// True when the geometry can run through F(2x2,3x3).
+bool winograd_eligible(const Conv2dGeometry& g);
+
+/// True when running the 16 tile GEMMs on int8 packs beats fp32. Each tile
+/// GEMM has k = ic, so narrow layers amortize the quantize-on-pack pass and
+/// the per-tile epilogue over too few MACs — measured break-even is around
+/// 96 input channels (DESIGN.md §8); below it the int8 request silently
+/// keeps the fp32 tile GEMMs (the im2col path still quantizes, its k is
+/// 9*ic).
+bool winograd_int8_profitable(std::int64_t ic);
+
+/// True when routing an eligible conv through Winograd actually beats the
+/// fp32 im2col path (the gate Conv2d::forward_inference applies on top of
+/// winograd_eligible; callers driving winograd_conv_forward directly are
+/// not gated). Two measured failure modes (DESIGN.md §8):
+///  - stem-like layers (ic < 16): the tile GEMMs have k = ic, so the
+///    transform overhead swamps the 2.25x multiply saving;
+///  - with fp32 tile GEMMs, < 4 tiles per sample (e.g. 2x2 feature maps):
+///    sixteen n = tiles GEMMs lose to one wide im2col GEMM. Int8 tile GEMMs
+///    (ic >= 96) stay profitable even there — quantize-on-pack is cheap and
+///    the VNNI kernel is far from its efficiency cliff at those shapes.
+bool winograd_profitable(const Conv2dGeometry& g, bool use_int8);
+
+/// The precomputed kernel-transform state a Conv2d caches across forwards
+/// (rebuilt only when the weights change; int8 packs built on first use).
+struct WinogradPlan {
+  std::int64_t oc = 0, ic = 0;
+  /// U = G g G^T, stored xi-major: u[xi * oc * ic + o * ic + c], xi in [0,16).
+  std::vector<float> u;
+  /// Per-xi int8 packs of U (rows = oc, k = ic); empty until int8 is used.
+  std::vector<QuantizedMat> uq;
+};
+
+/// (Re)builds the fp32 kernel transform from weights [oc, ic, 3, 3]; adds
+/// the int8 packs when `with_int8` is set (they are kept if already built).
+void winograd_build_plan(const float* weights, std::int64_t oc, std::int64_t ic,
+                         bool with_int8, WinogradPlan& plan);
+
+/// Tile grid of one sample: ceil(out/2) tiles per spatial dimension.
+std::int64_t winograd_tiles(const Conv2dGeometry& g, std::int64_t batch);
+
+/// Workspace element counts for the caller-owned scratch buffers.
+std::int64_t winograd_v_elems(const Conv2dGeometry& g, std::int64_t batch);
+std::int64_t winograd_m_elems(const Conv2dGeometry& g, std::int64_t batch);
+
+/// Batched forward: x is NCHW [batch, ic, h, w], out is [batch, oc, oh, ow]
+/// (overwritten), bias may be null. `v` and `m` must hold winograd_v_elems /
+/// winograd_m_elems floats. With `use_int8`, the 16 tile GEMMs run on the
+/// quantized packs (plan must have been built with with_int8).
+void winograd_conv_forward(const Conv2dGeometry& g, const float* x,
+                           std::int64_t batch, const WinogradPlan& plan,
+                           const float* bias, float* out, bool use_int8,
+                           float* v, float* m);
+
+}  // namespace fp

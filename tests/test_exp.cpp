@@ -142,6 +142,22 @@ TEST(ExperimentSpec, RoundTripsThroughJson) {
   EXPECT_EQ(json, exp::spec_to_json(reparsed));
 }
 
+TEST(ExperimentSpec, ComputePrecisionRoundTripsAndValidates) {
+  exp::ExperimentSpec spec = tiny_spec("FedProphet");
+  EXPECT_EQ(exp::get_key(spec, "compute.precision"), "fp32");  // default
+  EXPECT_EQ(exp::get_key(spec, "compute.winograd"), "false");
+  exp::apply_override(spec, "compute.precision=int8");
+  exp::apply_override(spec, "compute.winograd=1");
+  EXPECT_EQ(spec.fl.compute.precision, compute::Precision::kInt8);
+  EXPECT_TRUE(spec.fl.compute.winograd);
+  const std::string json = exp::spec_to_json(spec);
+  const exp::ExperimentSpec reparsed = exp::spec_from_json(json);
+  EXPECT_TRUE(exp::specs_equal(spec, reparsed));
+  EXPECT_EQ(reparsed.fl.compute.precision, compute::Precision::kInt8);
+  EXPECT_THROW(exp::apply_override(spec, "compute.precision=int4"),
+               exp::SpecError);
+}
+
 TEST(ExperimentSpec, ResolvedSpecRoundTripsAndIsIdempotent) {
   exp::ExperimentSpec spec = tiny_spec("jFAT");
   exp::resolve_spec(spec, /*fast=*/false);

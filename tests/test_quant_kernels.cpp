@@ -1,0 +1,475 @@
+// Tests for the inference-only quantized/transformed kernels (DESIGN.md §8):
+// int8 GEMM error bounds and determinism, Winograd-vs-im2col equivalence,
+// the compute-mode routing (fp32 defaults stay bit-identical), and the
+// end-to-end int8 eval-accuracy bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "attack/evaluate.hpp"
+#include "core/parallel.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv.hpp"
+#include "nn/optimizer.hpp"
+#include "sysmodel/cost_model.hpp"
+#include "tensor/compute_mode.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/qgemm.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/winograd.hpp"
+
+namespace fp {
+namespace {
+
+// ---- int8 GEMM --------------------------------------------------------------
+
+/// Exact-as-possible reference: double-precision dot of the ORIGINAL floats.
+std::vector<double> reference_nt(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) *
+               static_cast<double>(b[j * k + p]);
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  return c;
+}
+
+TEST(QGemm, WithinAnalyticErrorBound) {
+  // Sizes straddle the block size (32): sub-block, exact blocks, ragged tail.
+  const struct { std::int64_t m, n, k; } cases[] = {
+      {1, 1, 1}, {3, 5, 7}, {4, 8, 32}, {6, 16, 33},
+      {14, 32, 176}, {7, 17, 100}, {33, 65, 130},
+  };
+  for (const auto& gc : cases) {
+    Rng rng(0x51 + static_cast<std::uint64_t>(gc.m * 131 + gc.n * 17 + gc.k));
+    const Tensor a = Tensor::randn({gc.m, gc.k}, rng);
+    const Tensor b = Tensor::randn({gc.n, gc.k}, rng);
+    QuantizedMat qa, qb;
+    quantize_rows_int8(a.data(), gc.m, gc.k, gc.k, qa);
+    quantize_rows_int8(b.data(), gc.n, gc.k, gc.k, qb);
+    std::vector<float> c(static_cast<std::size_t>(gc.m * gc.n), -1.0f);
+    qgemm_nt(gc.m, gc.n, qa, qb, c.data(), gc.n);
+    const auto ref = reference_nt(a, b);
+    for (std::int64_t i = 0; i < gc.m; ++i)
+      for (std::int64_t j = 0; j < gc.n; ++j) {
+        const double bound = qgemm_error_bound(qa, i, qb, j, a.data() + i * gc.k,
+                                               gc.k, b.data() + j * gc.k, gc.k);
+        // Small fp32-accumulation slack on top of the quantization bound.
+        const double got = c[static_cast<std::size_t>(i * gc.n + j)];
+        const double want = ref[static_cast<std::size_t>(i * gc.n + j)];
+        ASSERT_LE(std::abs(got - want),
+                  bound + 1e-4 * (1.0 + std::abs(want)))
+            << "m=" << gc.m << " n=" << gc.n << " k=" << gc.k << " at (" << i
+            << "," << j << ")";
+      }
+  }
+}
+
+TEST(QGemm, QuantizeColsMatchesQuantizeRowsOfTranspose) {
+  Rng rng(0x52);
+  const std::int64_t k = 70, n = 23;
+  const Tensor x = Tensor::randn({k, n}, rng);  // [k, n], columns -> pack rows
+  Tensor xt({n, k});
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j) xt[j * k + p] = x[p * n + j];
+  QuantizedMat by_cols, by_rows;
+  quantize_cols_int8(x.data(), k, n, n, by_cols);
+  quantize_rows_int8(xt.data(), n, k, k, by_rows);
+  ASSERT_EQ(by_cols.rows, by_rows.rows);
+  ASSERT_EQ(by_cols.k_padded, by_rows.k_padded);
+  EXPECT_EQ(0, std::memcmp(by_cols.codes.data(), by_rows.codes.data(),
+                           static_cast<std::size_t>(by_cols.rows *
+                                                    by_cols.k_padded)));
+  for (std::size_t i = 0; i < by_rows.scales.size(); ++i)
+    ASSERT_EQ(by_cols.scales[i], by_rows.scales[i]) << i;
+}
+
+TEST(QGemm, BitIdenticalAcrossThreadCounts) {
+  Rng rng(0x53);
+  const std::int64_t m = 37, n = 61, k = 129;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({n, k}, rng);
+  std::vector<std::vector<float>> results;
+  const int before = core::num_threads();
+  for (const int threads : {1, 4}) {
+    core::set_num_threads(threads);
+    QuantizedMat qa, qb;
+    quantize_rows_int8(a.data(), m, k, k, qa);
+    quantize_rows_int8(b.data(), n, k, k, qb);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    qgemm_nt(m, n, qa, qb, c.data(), n);
+    results.push_back(std::move(c));
+  }
+  core::set_num_threads(before);
+  EXPECT_EQ(0, std::memcmp(results[0].data(), results[1].data(),
+                           results[0].size() * sizeof(float)));
+}
+
+TEST(QGemm, DegenerateDimsMatchGemmContract) {
+  // m==0 / n==0: no-op; k==0: beta-scale only (alpha=1, beta=0 -> zero fill).
+  // The fix aligned gemm_reference with the blocked gemm and qgemm: none of
+  // the three touches A/B when k==0 or alpha==0, so NaNs must not propagate.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> a(64, nan), b(64, nan);
+
+  for (const bool use_ref : {true, false}) {
+    auto run = [&](std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                   float beta, std::vector<float>& c) {
+      if (use_ref)
+        gemm_reference(false, true, m, n, k, alpha, a.data(), b.data(), beta,
+                       c.data());
+      else
+        gemm(false, true, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    };
+    std::vector<float> c(4, 7.0f);
+    run(0, 2, 3, 1.0f, 0.0f, c);  // m==0: untouched
+    run(2, 0, 3, 1.0f, 0.0f, c);  // n==0: untouched
+    for (const float v : c) EXPECT_EQ(v, 7.0f);
+    run(2, 2, 0, 1.0f, 0.0f, c);  // k==0: C = 0, A/B never read
+    for (const float v : c) EXPECT_EQ(v, 0.0f);
+    std::fill(c.begin(), c.end(), 3.0f);
+    run(2, 2, 4, 0.0f, 1.0f, c);  // alpha==0: C unchanged, no NaN from A/B
+    for (const float v : c) EXPECT_EQ(v, 3.0f);
+  }
+
+  // qgemm on empty packs follows the same contract at alpha=1, beta=0.
+  QuantizedMat qa, qb;
+  quantize_rows_int8(a.data(), 0, 0, 0, qa);
+  quantize_rows_int8(b.data(), 0, 0, 0, qb);
+  std::vector<float> c(4, 7.0f);
+  qgemm_nt(0, 2, qa, qb, c.data(), 2);  // m==0: untouched
+  for (const float v : c) EXPECT_EQ(v, 7.0f);
+  const std::vector<float> fin(8, 1.0f);
+  quantize_rows_int8(fin.data(), 2, 0, 0, qa);  // rows with k==0
+  quantize_rows_int8(fin.data(), 2, 0, 0, qb);
+  qgemm_nt(2, 2, qa, qb, c.data(), 2);  // k==0: zero fill
+  for (const float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+// ---- Winograd ---------------------------------------------------------------
+
+// Drives the Winograd kernels directly (plan build + forward), not through
+// Conv2d routing — the profitability gate would re-route most of these small
+// shapes to im2col and make a routed comparison vacuous.
+void expect_winograd_matches_im2col(std::int64_t ic, std::int64_t oc,
+                                    std::int64_t h, std::int64_t w,
+                                    std::int64_t padding, std::int64_t batch,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Conv2d conv(ic, oc, /*kernel=*/3, /*stride=*/1, padding, rng);
+  const Tensor x = Tensor::randn({batch, ic, h, w}, rng);
+  const Tensor ref = conv.forward(x, /*train=*/false);  // fp32 im2col path
+  const Conv2dGeometry g{ic, oc, 3, 1, padding, h, w};
+  ASSERT_TRUE(winograd_eligible(g));
+  WinogradPlan plan;
+  winograd_build_plan(conv.weight().data(), oc, ic, /*with_int8=*/false, plan);
+  std::vector<float> v(static_cast<std::size_t>(winograd_v_elems(g, batch)));
+  std::vector<float> m(static_cast<std::size_t>(winograd_m_elems(g, batch)));
+  Tensor wino({batch, oc, g.out_h(), g.out_w()});
+  winograd_conv_forward(g, x.data(), batch, plan, conv.bias().data(),
+                        wino.data(), /*use_int8=*/false, v.data(), m.data());
+  ASSERT_EQ(ref.numel(), wino.numel());
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    const float tol = 1e-3f * (std::abs(ref[i]) + 1.0f);
+    ASSERT_NEAR(wino[i], ref[i], tol)
+        << "ic=" << ic << " oc=" << oc << " h=" << h << " w=" << w
+        << " pad=" << padding << " batch=" << batch << " at " << i;
+  }
+}
+
+TEST(Winograd, MatchesIm2colOnRandomShapes) {
+  // Even/odd spatial sizes exercise full tiles and the clipped right/bottom
+  // overhang; padding 0 and 1; multi-sample batches.
+  expect_winograd_matches_im2col(3, 8, 8, 8, 1, 2, 0x60);
+  expect_winograd_matches_im2col(4, 6, 9, 7, 1, 1, 0x61);
+  expect_winograd_matches_im2col(2, 5, 5, 5, 0, 3, 0x62);
+  expect_winograd_matches_im2col(8, 16, 16, 16, 1, 2, 0x63);
+}
+
+TEST(Winograd, MatchesIm2colOnDegenerateShapes) {
+  // Smallest valid outputs: 3x3 input pad 0 -> 1x1 output (one clipped
+  // tile); 4x3 -> 2x1 (ragged in one dimension only); single channel.
+  expect_winograd_matches_im2col(1, 1, 3, 3, 0, 1, 0x64);
+  expect_winograd_matches_im2col(2, 3, 4, 3, 0, 1, 0x65);
+  expect_winograd_matches_im2col(1, 2, 3, 4, 0, 2, 0x66);
+}
+
+TEST(Winograd, IneligibleGeometryFallsBackBitIdentical) {
+  Rng rng(0x67);
+  nn::Conv2d conv(3, 8, /*kernel=*/3, /*stride=*/2, /*padding=*/1, rng);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor ref = conv.forward(x, /*train=*/false);
+  Tensor out;
+  {
+    compute::ComputeConfig cc;
+    cc.winograd = true;  // stride 2: not eligible, im2col fp32 fallback
+    const compute::InferenceScope scope(cc);
+    out = conv.forward(x, /*train=*/false);
+  }
+  EXPECT_EQ(0, std::memcmp(ref.data(), out.data(),
+                           static_cast<std::size_t>(ref.numel()) *
+                               sizeof(float)));
+}
+
+TEST(Winograd, RoutedForwardMatchesIm2col) {
+  // A gate-passing shape (ic >= 16, plenty of tiles) through Conv2d routing:
+  // the scoped forward must actually take the Winograd path and agree with
+  // the fp32 im2col forward to transform tolerance.
+  Rng rng(0x68);
+  nn::Conv2d conv(32, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({2, 32, 16, 16}, rng);
+  const Tensor ref = conv.forward(x, /*train=*/false);
+  Tensor wino;
+  {
+    compute::ComputeConfig cc;
+    cc.winograd = true;
+    const compute::InferenceScope scope(cc);
+    wino = conv.forward(x, /*train=*/false);
+  }
+  ASSERT_EQ(ref.numel(), wino.numel());
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    ASSERT_NEAR(wino[i], ref[i], 1e-3f * (std::abs(ref[i]) + 1.0f)) << i;
+    any_diff |= wino[i] != ref[i];
+  }
+  // Bit-identity would mean the gate silently fell back to im2col.
+  EXPECT_TRUE(any_diff) << "winograd route was not taken";
+}
+
+TEST(Winograd, UnprofitableShapesFallBackBitIdentical) {
+  // Stem-like (ic = 3) and tile-starved (2x2 output, fp32 tile GEMMs)
+  // shapes are gated back to the im2col fp32 path even under a winograd
+  // scope; the stem also fails qgemm_profitable (k = 27), so the full
+  // int8+winograd eval config leaves it bit-identical too.
+  Rng rng(0x69);
+  for (const bool int8_mode : {false, true}) {
+    nn::Conv2d stem(3, 64, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+    const Tensor ref = stem.forward(x, /*train=*/false);
+    Tensor out;
+    {
+      compute::ComputeConfig cc;
+      cc.winograd = true;
+      if (int8_mode) cc.precision = compute::Precision::kInt8;
+      const compute::InferenceScope scope(cc);
+      out = stem.forward(x, /*train=*/false);
+    }
+    EXPECT_EQ(0, std::memcmp(ref.data(), out.data(),
+                             static_cast<std::size_t>(ref.numel()) *
+                                 sizeof(float)))
+        << "int8_mode=" << int8_mode;
+  }
+}
+
+TEST(Winograd, ProfitabilityPredicate) {
+  const auto geom = [](std::int64_t ic, std::int64_t hw) {
+    return Conv2dGeometry{ic, ic, 3, 1, 1, hw, hw};
+  };
+  // Stem-like channel counts never profit, in either precision.
+  EXPECT_FALSE(winograd_profitable(geom(3, 32), false));
+  EXPECT_FALSE(winograd_profitable(geom(3, 32), true));
+  // Mid layers: plenty of tiles, profitable with fp32 tile GEMMs.
+  EXPECT_TRUE(winograd_profitable(geom(32, 16), false));
+  EXPECT_TRUE(winograd_profitable(geom(128, 8), true));
+  // 2x2 feature maps: one tile per sample loses with fp32 tile GEMMs but
+  // stays profitable when the tile GEMMs run int8 (ic >= 96).
+  EXPECT_FALSE(winograd_profitable(geom(512, 2), false));
+  EXPECT_TRUE(winograd_profitable(geom(512, 2), true));
+  // ic in [16, 96): int8 request keeps fp32 tile GEMMs, so the tile-count
+  // rule applies.
+  EXPECT_FALSE(winograd_profitable(geom(32, 2), true));
+
+  // The qgemm depth gate: the stem's im2col rows (27) are too shallow.
+  EXPECT_FALSE(qgemm_profitable(27));
+  EXPECT_TRUE(qgemm_profitable(64));
+  EXPECT_TRUE(qgemm_profitable(9 * 64));
+}
+
+TEST(Winograd, EligibilityPredicate) {
+  Conv2dGeometry g;
+  g.in_channels = 3;
+  g.out_channels = 8;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  g.in_h = g.in_w = 8;
+  EXPECT_TRUE(winograd_eligible(g));
+  g.stride = 2;
+  EXPECT_FALSE(winograd_eligible(g));
+  g.stride = 1;
+  g.kernel = 5;
+  EXPECT_FALSE(winograd_eligible(g));
+  g.kernel = 3;
+  g.in_h = 2;  // output would be empty without padding
+  g.padding = 0;
+  EXPECT_FALSE(winograd_eligible(g));
+}
+
+// ---- compute-mode routing ---------------------------------------------------
+
+TEST(ComputeMode, DefaultScopeKeepsFp32BitIdentical) {
+  Rng rng(0x70);
+  models::BuiltModel model(models::tiny_cnn_spec(16, 4, 8), rng);
+  Rng xrng(0x71);
+  const Tensor x = Tensor::rand_uniform({4, 3, 16, 16}, xrng, 0.0f, 1.0f);
+  const Tensor plain = model.forward(x, /*train=*/false);
+  Tensor scoped;
+  {
+    const compute::InferenceScope scope(compute::ComputeConfig{});
+    scoped = model.forward(x, /*train=*/false);
+  }
+  EXPECT_EQ(0, std::memcmp(plain.data(), scoped.data(),
+                           static_cast<std::size_t>(plain.numel()) *
+                               sizeof(float)));
+}
+
+TEST(ComputeMode, ScopeRestoresOnExit) {
+  EXPECT_FALSE(compute::int8_active());
+  {
+    compute::ComputeConfig cc;
+    cc.precision = compute::Precision::kInt8;
+    cc.winograd = true;
+    const compute::InferenceScope scope(cc);
+    EXPECT_TRUE(compute::int8_active());
+    EXPECT_TRUE(compute::winograd_active());
+  }
+  EXPECT_FALSE(compute::int8_active());
+  EXPECT_FALSE(compute::winograd_active());
+}
+
+TEST(ComputeMode, BackwardAfterInferenceForwardThrows) {
+  Rng rng(0x72);
+  nn::Conv2d conv(3, 4, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  compute::ComputeConfig cc;
+  cc.precision = compute::Precision::kInt8;
+  const compute::InferenceScope scope(cc);
+  const Tensor out = conv.forward(x, /*train=*/false);
+  // The inference path cleared the cached input: a stray backward must fail
+  // loudly instead of silently differentiating against stale scratch.
+  EXPECT_THROW(conv.backward(out), std::logic_error);
+}
+
+TEST(ComputeMode, Int8ForwardStaysNearFp32) {
+  Rng rng(0x73);
+  models::BuiltModel model(models::tiny_cnn_spec(16, 4, 8), rng);
+  Rng xrng(0x74);
+  const Tensor x = Tensor::rand_uniform({8, 3, 16, 16}, xrng, 0.0f, 1.0f);
+  const Tensor ref = model.forward(x, /*train=*/false);
+  Tensor q;
+  {
+    compute::ComputeConfig cc;
+    cc.precision = compute::Precision::kInt8;
+    cc.winograd = true;
+    const compute::InferenceScope scope(cc);
+    q = model.forward(x, /*train=*/false);
+  }
+  double max_rel = 0.0;
+  for (std::int64_t i = 0; i < ref.numel(); ++i)
+    max_rel = std::max(max_rel, static_cast<double>(std::abs(q[i] - ref[i])) /
+                                    (std::abs(ref[i]) + 1.0));
+  // Logits drift from layerwise quantization but stay close enough that the
+  // argmax (and thus accuracy) is stable for all but borderline samples.
+  EXPECT_LT(max_rel, 0.15) << "int8 forward drifted far from fp32";
+}
+
+// ---- end-to-end eval accuracy ----------------------------------------------
+
+class QuantEvalFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig dcfg = data::synth_cifar_config();
+    dcfg.train_size = 512;
+    dcfg.test_size = 160;
+    dcfg.num_classes = 4;
+    data_ = new data::TrainTest(data::make_synthetic(dcfg));
+    Rng rng(0x80);
+    model_ = new models::BuiltModel(models::tiny_cnn_spec(16, 4, 8), rng);
+    nn::Sgd opt(model_->parameters_range(0, model_->num_atoms()),
+                model_->gradients_range(0, model_->num_atoms()),
+                {0.05f, 0.9f, 1e-4f});
+    Rng data_rng(0x81);
+    data::BatchIterator batches(data_->train, 32, data_rng);
+    for (int i = 0; i < 100; ++i) {
+      const auto b = batches.next();
+      model_->zero_grad_range(0, model_->num_atoms());
+      const Tensor logits = model_->forward(b.x, true);
+      model_->backward_range(0, model_->num_atoms(),
+                             cross_entropy_grad(logits, b.y));
+      opt.step();
+    }
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete model_;
+    data_ = nullptr;
+    model_ = nullptr;
+  }
+  static data::TrainTest* data_;
+  static models::BuiltModel* model_;
+};
+
+data::TrainTest* QuantEvalFixture::data_ = nullptr;
+models::BuiltModel* QuantEvalFixture::model_ = nullptr;
+
+TEST_F(QuantEvalFixture, Int8EvalAccuracyWithinDocumentedBound) {
+  const double fp32 = attack::evaluate_clean(*model_, data_->test, 64, -1);
+  compute::ComputeConfig cc;
+  cc.precision = compute::Precision::kInt8;
+  cc.winograd = true;
+  const double int8 = attack::evaluate_clean(*model_, data_->test, 64, -1, cc);
+  EXPECT_LE(std::abs(int8 - fp32), compute::kInt8EvalAccuracyBound)
+      << "fp32=" << fp32 << " int8=" << int8;
+  // The trained model must actually classify (guards against a test that
+  // passes because both paths are broken).
+  EXPECT_GT(fp32, 0.5);
+}
+
+TEST_F(QuantEvalFixture, DefaultEvalUnchangedByNewParameter) {
+  const double a = attack::evaluate_clean(*model_, data_->test, 64, -1);
+  const double b =
+      attack::evaluate_clean(*model_, data_->test, 64, -1, compute::ComputeConfig{});
+  EXPECT_EQ(a, b);
+}
+
+// ---- cost-model closure -----------------------------------------------------
+
+TEST(CostModel, Int8InferenceDiscountsOnlyThePrefixTerm) {
+  const auto spec = models::tiny_vgg_spec(16, 4, 6);
+  sys::TrainCostConfig cfg;
+  cfg.batch_size = 16;
+  cfg.pgd_steps = 3;
+  const std::size_t begin = spec.atoms.size() / 2;
+  const std::int64_t mem = 1ll << 40;  // ample: no swapping
+  const auto fp32 =
+      sys::train_step_cost(spec, begin, spec.atoms.size(), false, cfg, mem);
+  cfg.int8_inference = true;
+  cfg.winograd_inference = true;
+  const auto quant =
+      sys::train_step_cost(spec, begin, spec.atoms.size(), false, cfg, mem);
+  ASSERT_GT(fp32.inference_flops, 0.0);
+  EXPECT_LT(quant.inference_flops, fp32.inference_flops);
+  EXPECT_LT(quant.compute_flops, fp32.compute_flops);
+  // The discount applies to the frozen-prefix forward only: the training
+  // passes' share of the total is identical.
+  EXPECT_DOUBLE_EQ(fp32.compute_flops - fp32.inference_flops,
+                   quant.compute_flops - quant.inference_flops);
+  // begin == 0: no prefix, nothing to discount.
+  cfg.int8_inference = false;
+  cfg.winograd_inference = false;
+  const auto full = sys::train_step_cost(spec, 0, spec.atoms.size(), false,
+                                         cfg, mem);
+  EXPECT_EQ(full.inference_flops, 0.0);
+}
+
+}  // namespace
+}  // namespace fp
