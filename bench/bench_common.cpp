@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "cascade/partitioner.hpp"
 #include "fed/env.hpp"
 #include "fedprophet/coordinator.hpp"
@@ -59,6 +63,29 @@ exp::ExperimentSpec comm_scenario_spec(const std::string& codec,
   spec.fl.comm.model_network = true;
   apply_matched_budget(spec, sync_rounds < 0 ? scaled(12) : sync_rounds);
   return spec;
+}
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1e6;  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1e3;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+void print_scale_summary(const MethodResult& r, const BenchSetup& s) {
+  std::printf(
+      "    [scale] %-12s pool %lld  unique %lld  agg-saved %8.2f MB  "
+      "peak-rss %8.1f MB\n",
+      r.name.c_str(), static_cast<long long>(s.spec.fl.num_clients),
+      static_cast<long long>(r.unique_participants),
+      static_cast<double>(r.agg_bytes_saved) / 1e6, peak_rss_mb());
 }
 
 int parse_bench_args(int argc, char** argv, const char* name,

@@ -67,6 +67,15 @@ inline void print_mem_summary(const MethodResult& r, const BenchSetup& s) {
   exp::print_mem_line(r, s);
 }
 
+/// Process-lifetime peak resident set size in MB (getrusage; 0 if the
+/// platform reports nothing). A whole-process measure, so the interesting
+/// quantity for scale runs is its growth between scenarios, not its level.
+double peak_rss_mb();
+
+/// One [scale] pool-residency summary line per trained scenario: pool size,
+/// distinct clients ever dispatched, edge-merged backbone savings, peak RSS.
+void print_scale_summary(const MethodResult& r, const BenchSetup& s);
+
 inline attack::RobustEvalConfig bench_eval_config(float epsilon0) {
   attack::RobustEvalConfig e;
   e.epsilon = epsilon0;

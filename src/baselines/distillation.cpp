@@ -36,6 +36,7 @@ std::size_t DistillationFAT::arch_for_mem(std::int64_t avail_mem_bytes) const {
 }
 
 void DistillationFAT::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  clients_.begin_round(tasks);
   at_ = LocalAtConfig{};
   at_.epsilon = cfg_.epsilon0;
   at_.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
@@ -113,6 +114,7 @@ void DistillationFAT::apply_update(const fed::TaskSpec& /*task*/,
 }
 
 void DistillationFAT::finalize_round(std::int64_t t) {
+  clients_.end_round();
   for (std::size_t a = 0; a < prototypes_.size(); ++a) {
     if (per_arch_[a].empty()) continue;  // untouched prototypes keep values
     prototypes_[a]->load_all(per_arch_[a].average());

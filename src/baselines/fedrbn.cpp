@@ -15,6 +15,7 @@ FedRbn::FedRbn(fed::FedEnv& env, FedRbnConfig cfg)
       clients_(env, cfg.fl.seed) {}
 
 void FedRbn::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  clients_.begin_round(tasks);
   // The snapshot survives across dispatch groups until finalize_round
   // changes the model (async dropout/straggler refills reuse it). Clients
   // train from the blob as the wire codec delivers it.
@@ -91,6 +92,7 @@ void FedRbn::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
 }
 
 void FedRbn::finalize_round(std::int64_t /*t*/) {
+  clients_.end_round();
   if (averager_.empty()) return;
   model_.load_all(averager_.average());
   averager_.reset();

@@ -12,6 +12,7 @@ JFat::JFat(fed::FedEnv& env, JFatConfig cfg)
       clients_(env, cfg.fl.seed) {}
 
 void JFat::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  clients_.begin_round(tasks);
   // The snapshot survives across dispatch groups until finalize_round
   // changes the model (async dropout/straggler refills reuse it). Clients
   // train from the blob as the wire codec delivers it.
@@ -76,6 +77,7 @@ void JFat::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
 }
 
 void JFat::finalize_round(std::int64_t /*t*/) {
+  clients_.end_round();
   if (averager_.empty()) return;
   model_.load_all(averager_.average());
   averager_.reset();

@@ -36,6 +36,7 @@ double PartialTrainingFAT::ratio_for_mem(std::int64_t avail_mem_bytes) const {
 }
 
 void PartialTrainingFAT::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  clients_.begin_round(tasks);
   at_ = LocalAtConfig{};
   at_.epsilon = cfg_.epsilon0;
   at_.pgd_steps = cfg2_.adversarial ? cfg_.pgd_steps : 0;
@@ -136,6 +137,7 @@ void PartialTrainingFAT::apply_update(const fed::TaskSpec& /*task*/,
 }
 
 void PartialTrainingFAT::finalize_round(std::int64_t /*t*/) {
+  clients_.end_round();
   acc_.finalize_into(model_);
   acc_.reset();
 }

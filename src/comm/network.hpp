@@ -35,4 +35,20 @@ class NetworkModel {
   bool enabled_ = false;
 };
 
+/// Edge-aggregator backbone link for hierarchical aggregation (DESIGN.md §9):
+/// an edge node forwards its merged blob to the server over a fixed-capacity
+/// backhaul, one latency plus bytes over bandwidth. Unlike client links this
+/// is not degraded per round — backbones are provisioned, devices are not.
+struct EdgeLink {
+  double up_mbps = 100.0;
+  double latency_s = 0.01;
+
+  /// Seconds to push `wire_bytes` edge→server; zero when nothing moves.
+  double upload_s(std::int64_t wire_bytes) const {
+    if (wire_bytes <= 0 || up_mbps <= 0.0) return 0.0;
+    return latency_s +
+           static_cast<double>(wire_bytes) / (up_mbps * 1e6 / 8.0);
+  }
+};
+
 }  // namespace fp::comm

@@ -149,4 +149,79 @@ SyntheticConfig synth_caltech_config() {
   return cfg;
 }
 
+// --------------------------- LazyShardSource -------------------------------
+
+namespace {
+
+// Stream tags for plan-backed synthesis. Each split/client draws from
+// Rng(mix_seed(seed, tag)) so streams are mutually independent and
+// reconstructible from the plan alone.
+constexpr std::uint64_t kShardStream = 0x5da4d001ULL;
+constexpr std::uint64_t kTestStream = 0x7e57d002ULL;
+constexpr std::uint64_t kPublicStream = 0x9ab1d003ULL;
+
+}  // namespace
+
+LazyShardSource::LazyShardSource(const ShardPlan& plan) : plan_(plan) {
+  // Same template draws as make_synthetic: one Rng(seed), one coarse grid per
+  // class, bilinear upsample. Templates are the only resident tensor state.
+  const SyntheticConfig& cfg = plan_.synth;
+  Rng rng(cfg.seed);
+  const auto k = static_cast<std::int64_t>(cfg.template_coarseness);
+  templates_.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (std::int64_t cls = 0; cls < cfg.num_classes; ++cls) {
+    Tensor coarse = Tensor::rand_uniform({cfg.channels, k, k}, rng, 0.15f, 0.85f);
+    templates_.push_back(upsample_bilinear(coarse, cfg.image_size));
+  }
+}
+
+std::vector<std::int64_t> LazyShardSource::shard_class_counts(
+    std::int64_t client) const {
+  // Analytic mirror of partition_non_iid's skew: client k majors on a cyclic
+  // block of ~major_class_fraction of the classes (block start advances with
+  // k), and major classes hold major_data_fraction of its samples. O(classes)
+  // and tensor-free, so planning paths can enumerate pool metadata cheaply.
+  const std::int64_t nc = plan_.synth.num_classes;
+  const auto majors = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::lround(static_cast<double>(nc) * plan_.major_class_fraction)),
+      1, nc);
+  const std::int64_t start = (client * majors) % nc;
+  std::int64_t major_total = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::lround(
+          static_cast<double>(plan_.shard_size) * plan_.major_data_fraction)),
+      0, plan_.shard_size);
+  if (majors == nc) major_total = plan_.shard_size;
+  const std::int64_t minor_total = plan_.shard_size - major_total;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
+  for (std::int64_t j = 0; j < majors; ++j) {
+    const auto cls = static_cast<std::size_t>((start + j) % nc);
+    counts[cls] = major_total / majors + (j < major_total % majors ? 1 : 0);
+  }
+  const std::int64_t minors = nc - majors;
+  for (std::int64_t j = 0; j < minors; ++j) {
+    const auto cls = static_cast<std::size_t>((start + majors + j) % nc);
+    counts[cls] = minor_total / minors + (j < minor_total % minors ? 1 : 0);
+  }
+  return counts;
+}
+
+Dataset LazyShardSource::make_shard(std::int64_t client) const {
+  Rng rng(Rng::mix_seed(Rng::mix_seed(plan_.synth.seed, kShardStream),
+                        static_cast<std::uint64_t>(client)));
+  return render_split(templates_, shard_class_counts(client), plan_.synth, rng);
+}
+
+Dataset LazyShardSource::render_test() const {
+  Rng rng(Rng::mix_seed(plan_.synth.seed, kTestStream));
+  return render_split(templates_, split_counts(plan_.synth, plan_.synth.test_size),
+                      plan_.synth, rng);
+}
+
+Dataset LazyShardSource::render_public(std::int64_t size) const {
+  Rng rng(Rng::mix_seed(plan_.synth.seed, kPublicStream));
+  return render_split(templates_, split_counts(plan_.synth, size), plan_.synth,
+                      rng);
+}
+
 }  // namespace fp::data

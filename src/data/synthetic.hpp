@@ -41,4 +41,56 @@ SyntheticConfig synth_cifar_config();
 /// 32-class, 3x16x16, unbalanced and noisier — the Caltech-256 stand-in.
 SyntheticConfig synth_caltech_config();
 
+// ---------------------------------------------------------------------------
+// Plan-backed (lazy) shard synthesis — DESIGN.md §9.
+//
+// make_synthetic + partition_non_iid render the whole pool through ONE rng
+// stream, so client k's bytes depend on every client before it; that path is
+// inherently O(pool). A ShardPlan instead gives every client its own stream,
+// derived statelessly from (seed, client id), so any shard can be synthesized
+// on dispatch — in any order, on any thread — and discarded after upload,
+// with bit-identical bytes every time it is rebuilt. The non-IID label skew
+// of partition_non_iid (each client majors on a cyclic block of classes that
+// holds major_data_fraction of its samples) is reproduced analytically from
+// the client id, so shard metadata (sizes, class histograms) costs no tensor
+// synthesis at all.
+// ---------------------------------------------------------------------------
+
+struct ShardPlan {
+  SyntheticConfig synth;               ///< templates, image geometry, jitter
+  std::int64_t num_clients = 0;
+  std::int64_t shard_size = 0;         ///< samples per client shard
+  float major_class_fraction = 0.2f;   ///< fraction of classes a client majors on
+  float major_data_fraction = 0.8f;    ///< fraction of a shard in major classes
+};
+
+/// Synthesizes shards, the test split, and the public split on demand from a
+/// ShardPlan. Construction renders only the per-class templates (the same
+/// draws make_synthetic uses), never sample tensors.
+class LazyShardSource {
+ public:
+  explicit LazyShardSource(const ShardPlan& plan);
+
+  const ShardPlan& plan() const { return plan_; }
+  std::int64_t num_clients() const { return plan_.num_clients; }
+  std::int64_t shard_size() const { return plan_.shard_size; }
+
+  /// Per-class sample counts of client k's shard — pure metadata, O(classes).
+  std::vector<std::int64_t> shard_class_counts(std::int64_t client) const;
+
+  /// Synthesizes client k's shard. Bit-identical on every call for a given
+  /// (plan.synth.seed, client); thread-safe (templates are immutable).
+  Dataset make_shard(std::int64_t client) const;
+
+  /// Test split from a dedicated stream (independent of every shard).
+  Dataset render_test() const;
+
+  /// Public/distillation split of `size` samples from its own stream.
+  Dataset render_public(std::int64_t size) const;
+
+ private:
+  ShardPlan plan_;
+  std::vector<Tensor> templates_;
+};
+
 }  // namespace fp::data

@@ -1,5 +1,6 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -215,7 +216,11 @@ Setup build_setup(ExperimentSpec spec) {
   dcfg.num_classes = spec.model_classes;
   dcfg.train_size = spec.train_size;
   dcfg.test_size = spec.test_size;
-  s.data = data::make_synthetic(dcfg);
+  // Plan-backed pools never synthesize the monolithic training set — shards
+  // stream from the plan on dispatch (DESIGN.md §9) — so the only eager
+  // tensors are the test/public splits the env renders itself.
+  const bool plan_backed = spec.env_lazy_clients || spec.env_lazy_materialize;
+  if (!plan_backed) s.data = data::make_synthetic(dcfg);
 
   build_models(spec, s);
 
@@ -226,9 +231,39 @@ Setup build_setup(ExperimentSpec spec) {
   ecfg.heterogeneity = het_of(spec);
   ecfg.cifar_pool = wl.cifar_pool;
   ecfg.persistent_devices = spec.persistent_devices;
-  s.env = fed::make_env(s.data, ecfg, wl.paper_spec());
+  ecfg.lazy_clients = spec.env_lazy_clients;
+  ecfg.materialize_plan = spec.env_lazy_materialize;
+  ecfg.shard_size = spec.env_shard_size;
+  ecfg.client_cache = spec.env_client_cache;
+  ecfg.iter_cache = spec.env_iter_cache;
+  s.env = plan_backed ? fed::make_lazy_env(dcfg, ecfg, wl.paper_spec())
+                      : fed::make_env(s.data, ecfg, wl.paper_spec());
+  if (plan_backed) s.data.test = s.env.test;
   s.spec = std::move(spec);
   return s;
+}
+
+std::shared_ptr<const data::LazyShardSource> plan_source(ExperimentSpec spec) {
+  if (!(spec.env_lazy_clients || spec.env_lazy_materialize)) return nullptr;
+  resolve_spec(spec);
+  const WorkloadInfo& wl = workload_registry().resolve(spec.workload);
+  data::SyntheticConfig dcfg = wl.synth();
+  dcfg.num_classes = spec.model_classes;
+  dcfg.train_size = spec.train_size;
+  dcfg.test_size = spec.test_size;
+  data::ShardPlan plan;
+  plan.synth = dcfg;
+  plan.num_clients = spec.fl.num_clients;
+  plan.shard_size = spec.env_shard_size > 0
+                        ? spec.env_shard_size
+                        : std::max<std::int64_t>(
+                              spec.fl.batch_size,
+                              dcfg.train_size /
+                                  std::max<std::int64_t>(1, spec.fl.num_clients));
+  const data::PartitionConfig pcfg;
+  plan.major_class_fraction = pcfg.major_class_fraction;
+  plan.major_data_fraction = pcfg.major_data_fraction;
+  return std::make_shared<const data::LazyShardSource>(plan);
 }
 
 ExperimentSpec resolve_full(ExperimentSpec spec) {
@@ -275,6 +310,8 @@ RunResult run_on_setup(Setup& setup, const std::string& label) {
   r.peak_mem_bytes = stats.peak_mem_bytes;
   r.over_budget = stats.over_budget;
   r.dropped = stats.dropped_stragglers + stats.dropped_out;
+  r.unique_participants = stats.unique_participants;
+  r.agg_bytes_saved = stats.agg_bytes_saved;
   r.exported_csv = export_run_artifacts(setup.spec, r.name, r.history);
   r.metrics = run.evaluate(eval_config(setup.spec));
   return r;

@@ -34,6 +34,12 @@ struct Setup {
 /// Resolves the spec and builds dataset, model family, and environment.
 Setup build_setup(ExperimentSpec spec);
 
+/// Metadata-only view of a plan-backed pool (env.lazy_clients /
+/// env.lazy_materialize): the same ShardPlan build_setup's env would carry,
+/// without synthesizing any shard, test, or public tensors. Returns nullptr
+/// for eager specs. What `fp_run --plan` uses.
+std::shared_ptr<const data::LazyShardSource> plan_source(ExperimentSpec spec);
+
 /// Fully resolves a spec — including the build-time autos that need the
 /// model family (active-mem pricing scale, mem.budget_frac bytes) — without
 /// synthesizing the dataset or environment. What `fp_run --dump-spec` uses.
@@ -71,6 +77,8 @@ struct RunResult {
   std::int64_t peak_mem_bytes = 0;  ///< max measured client peak (0 = mem off)
   std::size_t over_budget = 0;      ///< budget violations across the run
   std::size_t dropped = 0;          ///< straggler-cutoff + dropout discards
+  std::int64_t unique_participants = 0;  ///< distinct clients ever dispatched
+  std::int64_t agg_bytes_saved = 0;      ///< backbone bytes the edge tier merged away
   std::string exported_csv;         ///< FP_BENCH_OUT trajectory path ("" = off)
 };
 

@@ -370,6 +370,60 @@ std::vector<KeyDef> build_schema() {
                 "method-level device memory multiplier (0 = auto ratio)",
                 [](ExperimentSpec& s) -> double& { return s.device_mem_scale; }));
 
+  // ---- scale plane (DESIGN.md §9) -------------------------------------------
+  add(field_key("env.lazy_clients",
+                "plan-backed pool: synthesize shards on dispatch, O(sampled) "
+                "residency",
+                [](ExperimentSpec& s) -> bool& { return s.env_lazy_clients; }));
+  add(field_key("env.lazy_materialize",
+                "materialize every plan-backed shard up front (equivalence runs)",
+                [](ExperimentSpec& s) -> bool& {
+                  return s.env_lazy_materialize;
+                }));
+  add(field_key("env.shard_size",
+                "samples per plan-backed shard (0 = train_size / num_clients)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.env_shard_size;
+                }));
+  add(field_key("env.client_cache",
+                "LRU capacity for synthesized shards (0 = default 256)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.env_client_cache;
+                }));
+  add(field_key("env.iter_cache",
+                "eager-mode resident batch-iterator cap (0 = unbounded)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.env_iter_cache;
+                }));
+  add(field_key("env.aggregators",
+                "edge aggregators for hierarchical aggregation (0 = flat)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.fl.agg.aggregators;
+                }));
+  add(field_key("env.agg_up_mbps", "edge->server backbone bandwidth (Mbit/s)",
+                [](ExperimentSpec& s) -> double& { return s.fl.agg.up_mbps; }));
+  add(field_key("env.agg_latency_s", "edge->server one-way latency (seconds)",
+                [](ExperimentSpec& s) -> double& {
+                  return s.fl.agg.latency_s;
+                }));
+  add(field_key("env.churn.enabled", "availability churn process (DESIGN.md §9)",
+                [](ExperimentSpec& s) -> bool& { return s.fl.churn.enabled; }));
+  add(field_key("env.churn.online_frac",
+                "expected fraction of the pool online in any round",
+                [](ExperimentSpec& s) -> double& {
+                  return s.fl.churn.online_frac;
+                }));
+  add(field_key("env.churn.period_rounds",
+                "rounds between availability re-draws (session length)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.fl.churn.period_rounds;
+                }));
+  add(field_key("env.churn.drop_prob",
+                "probability a dispatched online client drops mid-round",
+                [](ExperimentSpec& s) -> double& {
+                  return s.fl.churn.drop_prob;
+                }));
+
   // ---- evaluation -----------------------------------------------------------
   add(field_key("eval.pgd_steps", "PGD steps of the final evaluation",
                 [](ExperimentSpec& s) -> int& { return s.eval_pgd_steps; }));

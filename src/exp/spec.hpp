@@ -55,6 +55,12 @@ struct ExperimentSpec {
   bool with_public_set = true;
   double public_fraction = 0.1;
   bool persistent_devices = false;
+  // scale plane (DESIGN.md §9): plan-backed pools + residency knobs
+  bool env_lazy_clients = false;
+  bool env_lazy_materialize = false;
+  std::int64_t env_shard_size = 0;       ///< 0 = train_size / num_clients
+  std::int64_t env_client_cache = 0;     ///< 0 = ClientPool default (256)
+  std::int64_t env_iter_cache = 0;       ///< 0 = unbounded (legacy)
   /// Maps paper-scale device memory onto the trainable model's byte scale;
   /// 0 = auto (trainable full-training mem / paper-model full-training mem).
   double device_mem_scale = 0.0;

@@ -21,6 +21,9 @@ void FederatedAlgorithm::run_round(std::int64_t t) {
   total_stats_.peak_mem_bytes =
       std::max(total_stats_.peak_mem_bytes, last_stats_.peak_mem_bytes);
   total_stats_.over_budget += last_stats_.over_budget;
+  // Already cumulative in the engine (distinct-client set size).
+  total_stats_.unique_participants = last_stats_.unique_participants;
+  total_stats_.agg_bytes_saved += last_stats_.agg_bytes_saved;
 }
 
 void FederatedAlgorithm::run(std::int64_t eval_every) {
@@ -51,6 +54,8 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   rec.bytes_up = total_stats_.bytes_up;
   rec.bytes_down = total_stats_.bytes_down;
   rec.peak_mem_bytes = total_stats_.peak_mem_bytes;
+  rec.unique_participants = total_stats_.unique_participants;
+  rec.agg_bytes_saved = total_stats_.agg_bytes_saved;
   return rec;
 }
 

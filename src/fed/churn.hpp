@@ -1,0 +1,61 @@
+// Availability churn: arrival/departure and dropout processes (DESIGN.md §9).
+//
+// Production cross-device pools churn constantly — devices come online for a
+// session, go away, and occasionally die mid-round. At million-client scale
+// the process cannot keep per-client state; ChurnProcess answers both
+// questions as pure functions of (seed, client, time):
+//
+//   * online(client, round): a client is online/offline for whole periods of
+//     `period_rounds` rounds (a session), re-drawn each period from a
+//     stateless uniform — expected online fraction = online_frac.
+//   * drops(client, round): a per-dispatch coin for a mid-round dropout.
+//
+// Both use a DEDICATED stream tag, so enabling churn perturbs no other
+// subsystem's draws, and the process is identical across thread counts and
+// pool sizes by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "fed/config.hpp"
+#include "tensor/rng.hpp"
+
+namespace fp::fed {
+
+class ChurnProcess {
+ public:
+  ChurnProcess(const ChurnConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  bool enabled() const { return cfg_.enabled; }
+  const ChurnConfig& config() const { return cfg_; }
+
+  /// Is client k online (available for sampling) in round t?
+  bool online(std::size_t client, std::int64_t round) const {
+    if (!cfg_.enabled) return true;
+    const std::int64_t period = cfg_.period_rounds > 0 ? cfg_.period_rounds : 1;
+    const auto epoch = static_cast<std::uint64_t>(round / period);
+    const std::uint64_t word = Rng::mix_seed(
+        Rng::mix_seed(seed_ ^ kOnlineTag, static_cast<std::uint64_t>(client)),
+        epoch);
+    return Rng::mix_uniform(word) < cfg_.online_frac;
+  }
+
+  /// Does client k, dispatched in round t, drop out before uploading?
+  bool drops(std::size_t client, std::int64_t round) const {
+    if (!cfg_.enabled || cfg_.drop_prob <= 0.0) return false;
+    const std::uint64_t word = Rng::mix_seed(
+        Rng::mix_seed(seed_ ^ kDropTag, static_cast<std::uint64_t>(client)),
+        static_cast<std::uint64_t>(round));
+    return Rng::mix_uniform(word) < cfg_.drop_prob;
+  }
+
+ private:
+  static constexpr std::uint64_t kOnlineTag = 0x0a11ab1eULL;
+  static constexpr std::uint64_t kDropTag = 0xd20b0e75ULL;
+
+  ChurnConfig cfg_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace fp::fed

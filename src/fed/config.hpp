@@ -38,6 +38,33 @@ struct AsyncConfig {
   double min_mix = 1e-3;
 };
 
+/// Availability churn (DESIGN.md §9): which clients are online each round and
+/// which dispatched clients vanish mid-round. All draws come from a DEDICATED
+/// stateless stream keyed on (seed, client, round/epoch), so enabling churn
+/// never perturbs sampling, training, or device streams — and disabling it
+/// (the default) keeps every historical output bit-identical.
+struct ChurnConfig {
+  bool enabled = false;
+  /// Expected fraction of the pool online in any round.
+  double online_frac = 0.8;
+  /// Rounds between availability re-draws: a client stays online/offline for
+  /// a whole period (session-like arrival/departure, not per-round coin flips).
+  std::int64_t period_rounds = 8;
+  /// Probability that a dispatched, online client drops out before uploading
+  /// (in addition to any async dropout_prob).
+  double drop_prob = 0.0;
+};
+
+/// Hierarchical aggregation (DESIGN.md §9): edge aggregators partially reduce
+/// their group's uploads before the server applies, bounding server-resident
+/// upload blobs to O(group) and pricing one extra edge→server hop. 0 = flat
+/// (historical) aggregation.
+struct AggTreeConfig {
+  std::int64_t aggregators = 0;
+  double up_mbps = 100.0;   ///< edge→server backbone bandwidth
+  double latency_s = 0.01;  ///< edge→server one-way latency
+};
+
 struct FlConfig {
   std::int64_t num_clients = 20;        ///< N (paper: 100)
   std::int64_t clients_per_round = 5;   ///< C (paper: 10)
@@ -63,6 +90,10 @@ struct FlConfig {
   /// keeps historical outputs bit-identical; gradient-carrying forwards are
   /// always fp32 regardless of this setting.
   compute::ComputeConfig compute;
+  /// Availability churn process (DESIGN.md §9). Off by default.
+  ChurnConfig churn;
+  /// Hierarchical aggregation tree (DESIGN.md §9). Flat by default.
+  AggTreeConfig agg;
 };
 
 /// Simulated wall-clock decomposition (paper Figs. 2/7, Table 4).
@@ -90,6 +121,10 @@ struct RoundRecord {
   /// Largest measured client training peak so far (bytes; 0 unless the mem
   /// subsystem's measurement is on — see mem::MemConfig).
   std::int64_t peak_mem_bytes = 0;
+  /// Distinct clients that contributed at least one applied update so far.
+  std::int64_t unique_participants = 0;
+  /// Cumulative backbone bytes saved by edge pre-reduction (0 when flat).
+  std::int64_t agg_bytes_saved = 0;
 };
 
 using History = std::vector<RoundRecord>;

@@ -1,5 +1,6 @@
 #include "fed/env.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fp::fed {
@@ -47,6 +48,63 @@ FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
     env.device_of_client.reserve(env.shards.size());
     for (std::size_t k = 0; k < env.shards.size(); ++k)
       env.device_of_client.push_back(env.devices->draw_pool_index(bind_rng));
+  }
+  env.client_cache = cfg.client_cache;
+  env.iter_cache = cfg.iter_cache;
+  return env;
+}
+
+FedEnv make_lazy_env(const data::SyntheticConfig& synth, const FedEnvConfig& cfg,
+                     sys::ModelSpec cost_spec) {
+  FedEnv env;
+  env.cost_spec = std::move(cost_spec);
+  env.cost_cfg.batch_size = cfg.fl.batch_size;
+  env.cost_cfg.pgd_steps = cfg.fl.pgd_steps;
+  env.cost_cfg.int8_inference =
+      cfg.fl.compute.precision == compute::Precision::kInt8;
+  env.cost_cfg.winograd_inference = cfg.fl.compute.winograd;
+
+  data::ShardPlan plan;
+  plan.synth = synth;
+  plan.num_clients = cfg.fl.num_clients;
+  plan.shard_size =
+      cfg.shard_size > 0
+          ? cfg.shard_size
+          : std::max(cfg.fl.batch_size,
+                     synth.train_size / std::max<std::int64_t>(
+                                            1, cfg.fl.num_clients));
+  {
+    const data::PartitionConfig pdefaults;
+    plan.major_class_fraction = pdefaults.major_class_fraction;
+    plan.major_data_fraction = pdefaults.major_data_fraction;
+  }
+  env.lazy = std::make_shared<data::LazyShardSource>(plan);
+  env.pool_size = cfg.fl.num_clients;
+  env.client_cache = cfg.client_cache;
+  env.iter_cache = cfg.iter_cache;
+
+  env.test = env.lazy->render_test();
+  if (cfg.with_public_set) {
+    const auto n = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(cfg.public_fraction *
+                                     static_cast<double>(synth.train_size)));
+    env.public_set = env.lazy->render_public(n);
+  }
+
+  const auto& pool = cfg.cifar_pool ? sys::cifar_device_pool()
+                                    : sys::caltech_device_pool();
+  env.devices.emplace(pool, cfg.heterogeneity, cfg.fl.seed + 2);
+  if (cfg.persistent_devices) {
+    // Same binding convention as the eager path (dedicated seed+3 stream),
+    // but derived statelessly per client: no O(pool) table.
+    env.stateless_binding = true;
+    env.bind_seed = cfg.fl.seed + 3;
+  }
+
+  if (cfg.materialize_plan) {
+    env.shards.reserve(static_cast<std::size_t>(plan.num_clients));
+    for (std::int64_t k = 0; k < plan.num_clients; ++k)
+      env.shards.push_back(env.lazy->make_shard(k));
   }
   return env;
 }

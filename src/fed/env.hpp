@@ -2,6 +2,7 @@
 // and the simulated-time accounting shared by every algorithm.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "comm/network.hpp"
@@ -26,8 +27,39 @@ struct FedEnv {
   sys::ModelSpec cost_spec;
   sys::TrainCostConfig cost_cfg;
 
+  // --- Scale plane (DESIGN.md §9) -----------------------------------------
+  /// Non-null = plan-backed pool: shards are synthesized on dispatch from
+  /// (seed, client_id) instead of held resident. `shards` may additionally be
+  /// materialized from the same plan (lazy-vs-materialized equivalence runs).
+  std::shared_ptr<const data::LazyShardSource> lazy;
+  /// Pool size when shards are not materialized (0 = shards.size()).
+  std::int64_t pool_size = 0;
+  /// LRU capacity of the synthesized-shard cache (0 = default).
+  std::int64_t client_cache = 0;
+  /// Eager-mode resident BatchIterator cap (0 = unbounded legacy behavior).
+  std::int64_t iter_cache = 0;
+  /// Persistent device binding computed statelessly from (bind_seed, client)
+  /// instead of the O(pool) device_of_client table.
+  bool stateless_binding = false;
+  std::uint64_t bind_seed = 0;
+
   std::int64_t num_clients() const {
-    return static_cast<std::int64_t>(shards.size());
+    return pool_size > 0 ? pool_size
+                         : static_cast<std::int64_t>(shards.size());
+  }
+  /// Plan-backed pools stream per-dispatch client sessions (ClientPool
+  /// session mode) rather than persistent per-client state.
+  bool session_mode() const { return lazy != nullptr; }
+  /// Aggregation weight of client k. Plan-backed shards are equal-sized, so
+  /// the weight is exactly 1/N without touching any shard.
+  float weight_of(std::size_t k) const {
+    if (session_mode()) return 1.0f / static_cast<float>(num_clients());
+    return weights[k];
+  }
+  /// Pool index of client k's bound device under stateless binding.
+  std::size_t bound_device_index(std::size_t k) const {
+    Rng rng(Rng::mix_seed(bind_seed, static_cast<std::uint64_t>(k)));
+    return devices->draw_pool_index(rng);
   }
 };
 
@@ -41,12 +73,34 @@ struct FedEnvConfig {
   /// real-time availability degradation is redrawn per round). Off by
   /// default to keep historical outputs bit-identical.
   bool persistent_devices = false;
+  // --- Scale plane (DESIGN.md §9) -----------------------------------------
+  /// Plan-backed pool: shards synthesized on dispatch, O(sampled) residency.
+  bool lazy_clients = false;
+  /// Materialize every plan-backed shard up front (lazy-vs-materialized
+  /// equivalence testing; pays O(pool) memory like the legacy path).
+  bool materialize_plan = false;
+  /// Samples per plan-backed shard (0 = train_size / num_clients, floored at
+  /// one batch).
+  std::int64_t shard_size = 0;
+  /// Synthesized-shard LRU capacity (0 = ClientPool default).
+  std::int64_t client_cache = 0;
+  /// Eager-mode resident BatchIterator cap (0 = unbounded legacy behavior).
+  std::int64_t iter_cache = 0;
 };
 
 /// Builds the environment: public split (optional), non-IID partition,
 /// device sampler, and cost-model configuration.
 FedEnv make_env(const data::TrainTest& data, const FedEnvConfig& cfg,
                 sys::ModelSpec cost_spec);
+
+/// Builds a plan-backed environment (DESIGN.md §9): per-client shards are
+/// described by a ShardPlan and synthesized on dispatch, so setup cost and
+/// resident memory are O(1) in the pool size. Only the test split (and the
+/// public split, if requested) are rendered up front. `synth` supplies the
+/// template/geometry config; the partition skew mirrors
+/// data::PartitionConfig's defaults.
+FedEnv make_lazy_env(const data::SyntheticConfig& synth, const FedEnvConfig& cfg,
+                     sys::ModelSpec cost_spec);
 
 /// What one client trains this round, expressed on the cost spec's atoms.
 struct ClientWork {

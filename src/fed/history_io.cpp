@@ -32,14 +32,17 @@ std::string json_escape(const std::string& s) {
 bool write_history_csv(const std::string& path, const History& history) {
   std::FILE* f = open_creating_dirs(path);
   if (!f) return false;
-  std::fprintf(
-      f, "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,peak_mem_bytes,extra\n");
+  std::fprintf(f,
+               "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,"
+               "peak_mem_bytes,unique_participants,agg_bytes_saved,extra\n");
   for (const auto& rec : history)
-    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%.9g\n",
+    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%lld,%lld,%.9g\n",
                  static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
                  rec.sim_time_s, static_cast<long long>(rec.bytes_up),
                  static_cast<long long>(rec.bytes_down),
-                 static_cast<long long>(rec.peak_mem_bytes), rec.extra);
+                 static_cast<long long>(rec.peak_mem_bytes),
+                 static_cast<long long>(rec.unique_participants),
+                 static_cast<long long>(rec.agg_bytes_saved), rec.extra);
   return std::fclose(f) == 0;
 }
 
@@ -55,12 +58,15 @@ bool write_history_json(const std::string& path, const std::string& method,
                  "%s\n  {\"round\": %lld, \"clean_acc\": %.9g, "
                  "\"adv_acc\": %.9g, \"sim_time_s\": %.9g, "
                  "\"bytes_up\": %lld, \"bytes_down\": %lld, "
-                 "\"peak_mem_bytes\": %lld, \"extra\": %.9g}",
+                 "\"peak_mem_bytes\": %lld, \"unique_participants\": %lld, "
+                 "\"agg_bytes_saved\": %lld, \"extra\": %.9g}",
                  i ? "," : "", static_cast<long long>(rec.round), rec.clean_acc,
                  rec.adv_acc, rec.sim_time_s,
                  static_cast<long long>(rec.bytes_up),
                  static_cast<long long>(rec.bytes_down),
-                 static_cast<long long>(rec.peak_mem_bytes), rec.extra);
+                 static_cast<long long>(rec.peak_mem_bytes),
+                 static_cast<long long>(rec.unique_participants),
+                 static_cast<long long>(rec.agg_bytes_saved), rec.extra);
   }
   std::fprintf(f, "\n]}\n");
   return std::fclose(f) == 0;

@@ -9,7 +9,9 @@ RoundEngine::RoundEngine(FedEnv& env, const FlConfig& cfg)
     : env_(&env),
       cfg_(cfg),
       sampler_(env.num_clients(), cfg.seed + 11),
-      channel_(cfg.comm) {
+      channel_(cfg.comm),
+      // Dedicated stream (seed + 29): enabling churn perturbs no other draws.
+      churn_(cfg.churn, cfg.seed + 29) {
   switch (cfg_.scheduler) {
     case SchedulerKind::kSync:
       scheduler_ = std::make_unique<SyncScheduler>();
@@ -48,7 +50,8 @@ Upload RoundEngine::run_client(RoundMethod& m, const TaskSpec& task) {
 
 std::vector<TaskSpec> RoundEngine::sample_tasks(std::int64_t t,
                                                 std::int64_t count) {
-  const auto ids = sampler_.sample(count);
+  const auto ids =
+      sampler_.sample(count, churn_.enabled() ? &churn_ : nullptr, t);
   std::vector<TaskSpec> tasks(ids.size());
   const float lr = lr_at(t);
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -56,7 +59,7 @@ std::vector<TaskSpec> RoundEngine::sample_tasks(std::int64_t t,
     tasks[i].slot = i;
     tasks[i].client = ids[i];
     tasks[i].lr = lr;
-    tasks[i].weight = env_->weights[ids[i]];
+    tasks[i].weight = env_->weight_of(ids[i]);
   }
   if (env_->devices) {
     if (!env_->device_of_client.empty()) {
@@ -65,6 +68,14 @@ std::vector<TaskSpec> RoundEngine::sample_tasks(std::int64_t t,
       for (auto& task : tasks) {
         task.device =
             env_->devices->sample_bound(env_->device_of_client[task.client]);
+        task.has_device = true;
+      }
+    } else if (env_->stateless_binding) {
+      // Persistent fleet at scale: the binding is a pure function of
+      // (bind_seed, client) — no O(pool) table.
+      for (auto& task : tasks) {
+        task.device =
+            env_->devices->sample_bound(env_->bound_device_index(task.client));
         task.has_device = true;
       }
     } else {

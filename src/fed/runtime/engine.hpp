@@ -16,9 +16,11 @@
 #include <any>
 #include <cmath>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/channel.hpp"
+#include "fed/churn.hpp"
 #include "fed/config.hpp"
 #include "fed/env.hpp"
 #include "fed/sampler.hpp"
@@ -127,6 +129,11 @@ struct RoundStats {
   std::int64_t bytes_up = 0;    ///< wire bytes received from clients this round
   std::int64_t peak_mem_bytes = 0;  ///< max measured client peak (0 = mem off)
   std::size_t over_budget = 0;      ///< clients whose peak exceeded their budget
+  /// Distinct clients with at least one applied update since engine start
+  /// (cumulative — the engine tracks the set, rounds report its size).
+  std::int64_t unique_participants = 0;
+  /// Backbone bytes the edge aggregators absorbed this round (0 when flat).
+  std::int64_t agg_bytes_saved = 0;
 };
 
 class RoundScheduler;
@@ -170,11 +177,22 @@ class RoundEngine {
   /// is scoped to; 0 = unbudgeted.
   std::int64_t client_budget_bytes(const TaskSpec& task) const;
 
+  /// Availability churn process (DESIGN.md §9; disabled unless cfg.churn).
+  const ChurnProcess& churn() const { return churn_; }
+
+  /// Participation bookkeeping: schedulers record every applied client.
+  void note_participant(std::size_t client) { participants_.insert(client); }
+  std::int64_t participant_count() const {
+    return static_cast<std::int64_t>(participants_.size());
+  }
+
  private:
   FedEnv* env_;
   FlConfig cfg_;
   ClientSampler sampler_;
   comm::Channel channel_;
+  ChurnProcess churn_;
+  std::unordered_set<std::size_t> participants_;
   std::unique_ptr<RoundScheduler> scheduler_;
 };
 

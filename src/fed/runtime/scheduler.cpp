@@ -13,48 +13,108 @@ namespace fp::fed {
 RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
                                     std::int64_t t) {
   auto tasks = eng.sample_tasks(t, eng.config().clients_per_round);
+  RoundStats st;
+
+  // Availability churn: a sampled client may vanish between selection and
+  // dispatch. Decided statelessly from the dedicated churn stream BEFORE any
+  // dispatch, so dropped clients never train, never download, and never
+  // consume a method's slot-order draws; survivors are re-slotted
+  // contiguously. No-op when churn is off (every historical golden).
+  if (eng.churn().enabled()) {
+    std::vector<TaskSpec> alive;
+    alive.reserve(tasks.size());
+    for (auto& task : tasks) {
+      if (eng.churn().drops(task.client, t)) {
+        ++st.dropped_out;
+        continue;
+      }
+      task.slot = alive.size();
+      alive.push_back(task);
+    }
+    tasks = std::move(alive);
+  }
+
   m.begin_dispatch(tasks);
 
-  // Per-client local training, one pool task per client. Each task touches
-  // only its own client's state, so results are bit-identical for any
-  // FP_NUM_THREADS (aggregation below runs on this thread in client order).
-  std::vector<Upload> uploads(tasks.size());
-  core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
-                       [&](std::int64_t ti) {
-                         const auto i = static_cast<std::size_t>(ti);
-                         uploads[i] = eng.run_client(m, tasks[i]);
-                       });
+  const std::size_t n = tasks.size();
+  const std::int64_t aggs = eng.config().agg.aggregators;
+  const std::size_t groups =
+      aggs > 0 ? std::min(static_cast<std::size_t>(aggs),
+                          std::max<std::size_t>(n, 1))
+               : 1;
+  const comm::EdgeLink edge{eng.config().agg.up_mbps,
+                            eng.config().agg.latency_s};
+  const bool price_edge = aggs > 0 && eng.channel().network().enabled();
 
-  RoundStats st;
-  st.dispatched = st.applied = tasks.size();
+  st.dispatched = st.applied = n;
   const bool with_devices = !tasks.empty() && tasks.front().has_device;
-  // Barrier-round time: the slowest participant's download + train + upload
-  // (the comm term is zero unless comm.model_network is on, which keeps the
-  // pre-comm goldens bit-identical). Priced before apply_update moves the
-  // uploads away.
   TimeBreakdown slowest;
   double slowest_total = -1.0;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    st.bytes_down += uploads[i].bytes_down;
-    st.bytes_up += uploads[i].bytes_up;
-    st.peak_mem_bytes = std::max(st.peak_mem_bytes, uploads[i].peak_mem_bytes);
-    st.over_budget += uploads[i].over_budget ? 1 : 0;
-    if (with_devices) {
-      const TimeBreakdown ti = client_sim_time(
-          m.time_spec(eng.env()), tasks[i].device, uploads[i].work,
-          eng.env().cost_cfg, eng.config().local_iters,
-          eng.channel().network(), uploads[i].bytes_down, uploads[i].bytes_up);
-      if (ti.total() > slowest_total) {
-        slowest_total = ti.total();
-        slowest = ti;
+
+  // One wave per edge aggregator (flat aggregation = a single wave over all
+  // slots, bit-identical to the historical loop). Each wave trains its
+  // contiguous slot group in parallel, folds the uploads into the server in
+  // global slot order, and frees them before the next wave — so server-side
+  // peak residency is O(group) upload blobs, not O(sampled). Because slot
+  // grouping is contiguous and apply order is unchanged, the aggregate is
+  // NUMERICALLY IDENTICAL to flat aggregation: the tree changes only
+  // residency, backbone bytes (agg_bytes_saved), and the clock (one
+  // edge→server hop per wave when the network model is on).
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = n * g / groups;
+    const std::size_t end = n * (g + 1) / groups;
+    if (begin == end) continue;
+    std::vector<Upload> uploads(end - begin);
+    core::parallel_tasks(static_cast<std::int64_t>(end - begin),
+                         [&](std::int64_t ti) {
+                           const auto i = static_cast<std::size_t>(ti);
+                           uploads[i] = eng.run_client(m, tasks[begin + i]);
+                         });
+
+    // Wave time: the slowest member's download + train + upload (the comm
+    // term is zero unless comm.model_network is on, which keeps the pre-comm
+    // goldens bit-identical). Priced before apply_update moves the uploads.
+    TimeBreakdown wave_slowest;
+    double wave_total = -1.0;
+    std::int64_t wave_bytes_up = 0;
+    std::int64_t merged_bytes = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      Upload& up = uploads[i - begin];
+      st.bytes_down += up.bytes_down;
+      st.bytes_up += up.bytes_up;
+      wave_bytes_up += up.bytes_up;
+      merged_bytes = std::max(merged_bytes, up.bytes_up);
+      st.peak_mem_bytes = std::max(st.peak_mem_bytes, up.peak_mem_bytes);
+      st.over_budget += up.over_budget ? 1 : 0;
+      if (with_devices) {
+        const TimeBreakdown ti = client_sim_time(
+            m.time_spec(eng.env()), tasks[i].device, up.work,
+            eng.env().cost_cfg, eng.config().local_iters,
+            eng.channel().network(), up.bytes_down, up.bytes_up);
+        if (ti.total() > wave_total) {
+          wave_total = ti.total();
+          wave_slowest = ti;
+        }
       }
+      eng.note_participant(tasks[i].client);
+      m.apply_update(tasks[i], std::move(up), ApplyMode::kAccumulate, 1.0f);
     }
-    m.apply_update(tasks[i], std::move(uploads[i]), ApplyMode::kAccumulate,
-                   1.0f);
+    if (aggs > 0) {
+      // The edge forwards ONE merged blob (sized like its largest member)
+      // instead of every member's upload: those bytes never hit the backbone.
+      st.agg_bytes_saved += wave_bytes_up - merged_bytes;
+      if (price_edge) wave_slowest.comm_s += edge.upload_s(merged_bytes);
+    }
+    if (with_devices && wave_total >= 0.0 &&
+        wave_slowest.total() > slowest_total) {
+      slowest_total = wave_slowest.total();
+      slowest = wave_slowest;
+    }
   }
   m.finalize_round(t);
 
   if (with_devices) st.time = slowest;
+  st.unique_participants = eng.participant_count();
   return st;
 }
 
@@ -71,6 +131,12 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
   std::vector<char> dropped(tasks.size(), 0);
   if (cfg_.dropout_prob > 0.0)
     for (auto& d : dropped) d = drop_rng_.uniform() < cfg_.dropout_prob;
+  // Availability churn adds its own stateless mid-round dropouts on top
+  // (drop_rng_'s draw sequence above is untouched, so enabling churn never
+  // perturbs the async dropout stream).
+  if (eng.churn().enabled())
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      if (eng.churn().drops(tasks[i].client, t)) dropped[i] = 1;
 
   // Training runs at dispatch time against the dispatch snapshot, so a
   // client's computation is a pure function of (seed, dispatch order) no
@@ -95,12 +161,21 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
     st.bytes_down += uploads[i].bytes_down;
     st.peak_mem_bytes = std::max(st.peak_mem_bytes, uploads[i].peak_mem_bytes);
     st.over_budget += uploads[i].over_budget ? 1 : 0;
-    if (tasks[i].has_device)
+    if (tasks[i].has_device) {
       ev.duration = client_sim_time(
           m.time_spec(eng.env()), tasks[i].device, uploads[i].work,
           eng.env().cost_cfg, eng.config().local_iters,
           eng.channel().network(), uploads[i].bytes_down,
           uploads[i].bytes_up);
+      // Hierarchical aggregation: the upload traverses the edge aggregator's
+      // backbone before the server hears it (async edges forward updates
+      // individually, so there is a hop but no merge savings).
+      if (eng.config().agg.aggregators > 0 && eng.channel().network().enabled())
+        ev.duration.comm_s +=
+            comm::EdgeLink{eng.config().agg.up_mbps,
+                           eng.config().agg.latency_s}
+                .upload_s(uploads[i].bytes_up);
+    }
     ev.up = std::move(uploads[i]);
     // The server hears back after the client's own duration, except that a
     // straggler cutoff caps how long it waits on any one dispatch. A dropped
@@ -169,11 +244,13 @@ RoundStats AsyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
     mix = std::clamp(mix, cfg_.min_mix, 1.0);
 
     const TimeBreakdown duration = ev.duration;
+    eng.note_participant(ev.task.client);
     m.apply_update(ev.task, std::move(ev.up), ApplyMode::kBlend,
                    static_cast<float>(mix));
     m.finalize_round(t);
     st.applied = 1;
     st.mean_staleness = staleness;
+    st.unique_participants = eng.participant_count();
 
     // Refill from the post-aggregation model: the fresh dispatch belongs to
     // server round t + 1.

@@ -2,12 +2,63 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace fp::fed {
 
-std::vector<std::size_t> ClientSampler::sample(std::int64_t count) {
+std::vector<std::size_t> ClientSampler::sample(std::int64_t count,
+                                               const ChurnProcess* churn,
+                                               std::int64_t round) {
   if (count > num_clients_)
     throw std::invalid_argument("ClientSampler: count > population");
+  const auto n = static_cast<std::uint64_t>(num_clients_);
+
+  if (churn != nullptr && churn->enabled()) {
+    // Rejection sampling against the availability process: expected
+    // O(count / online_frac) draws. The O(pool) fallback scan only triggers
+    // in pathological configs (online fraction near zero).
+    std::unordered_set<std::size_t> chosen;
+    std::vector<std::size_t> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    const std::int64_t max_attempts = 64 * count + 256;
+    for (std::int64_t attempt = 0;
+         attempt < max_attempts &&
+         static_cast<std::int64_t>(ids.size()) < count;
+         ++attempt) {
+      const auto id = static_cast<std::size_t>(rng_.uniform_int(n));
+      if (chosen.count(id) != 0 || !churn->online(id, round)) continue;
+      chosen.insert(id);
+      ids.push_back(id);
+    }
+    if (static_cast<std::int64_t>(ids.size()) < count) {
+      for (std::size_t id = 0;
+           id < static_cast<std::size_t>(num_clients_) &&
+           static_cast<std::int64_t>(ids.size()) < count;
+           ++id)
+        if (chosen.count(id) == 0 && churn->online(id, round)) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  if (count * 8 <= num_clients_) {
+    // Floyd's algorithm: `count` draws, uniform without replacement, no
+    // O(pool) shuffle. Only used for sparse draws so every historical dense
+    // sampling sequence stays bit-identical.
+    std::unordered_set<std::size_t> chosen;
+    std::vector<std::size_t> ids;
+    ids.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t j = num_clients_ - count; j < num_clients_; ++j) {
+      const auto t = static_cast<std::size_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(j) + 1));
+      const auto pick = chosen.count(t) != 0 ? static_cast<std::size_t>(j) : t;
+      chosen.insert(pick);
+      ids.push_back(pick);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
   std::vector<std::size_t> ids(static_cast<std::size_t>(num_clients_));
   for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
   rng_.shuffle(ids);

@@ -1,9 +1,16 @@
 // Uniform client sampling without replacement (paper: C = 10 of N = 100).
+//
+// Two regimes (DESIGN.md §9): the historical full-shuffle for dense draws
+// (bit-identical to every PR 2–6 golden), and Floyd's O(count) algorithm when
+// the pool dwarfs the draw (count * 8 <= pool) — at a million clients the
+// shuffle would be 99.99% wasted work. An optional availability filter
+// restricts the draw to clients a ChurnProcess reports online.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fed/churn.hpp"
 #include "tensor/rng.hpp"
 
 namespace fp::fed {
@@ -14,7 +21,15 @@ class ClientSampler {
       : num_clients_(num_clients), rng_(seed) {}
 
   /// Samples `count` distinct client ids.
-  std::vector<std::size_t> sample(std::int64_t count);
+  std::vector<std::size_t> sample(std::int64_t count) {
+    return sample(count, nullptr, 0);
+  }
+
+  /// Samples `count` distinct client ids that are online in `round` under
+  /// `churn` (nullptr or disabled = everyone online). May return fewer than
+  /// `count` ids when fewer clients are online.
+  std::vector<std::size_t> sample(std::int64_t count, const ChurnProcess* churn,
+                                  std::int64_t round);
 
  private:
   std::int64_t num_clients_;

@@ -16,10 +16,8 @@ FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
                                         cfg2_.fl.batch_size),
                init_rng_),
       apa_(cfg2_.alpha_init, cfg2_.delta_alpha, cfg2_.gamma, cfg2_.apa),
+      clients_(env, cfg2_.fl.seed, /*stream_base=*/1000),
       acc_(model_) {
-  clients_.resize(static_cast<std::size_t>(env.num_clients()));
-  for (std::size_t k = 0; k < clients_.size(); ++k)
-    clients_[k].rng = Rng(cfg2_.fl.seed + 1000 + k);
   acc_.reset();
   aux_acc_.resize(cascade_.num_modules());
   atom_blob_elems_.reserve(model_.num_atoms());
@@ -28,10 +26,7 @@ FedProphet::FedProphet(fed::FedEnv& env, FedProphetConfig cfg)
 }
 
 data::BatchIterator& FedProphet::client_batches(std::size_t k) {
-  auto& rt = clients_[k];
-  if (!rt.batches)
-    rt.batches.emplace(env_->shards[k], cfg2_.fl.batch_size, rt.rng);
-  return *rt.batches;
+  return clients_.batches(k, cfg2_.fl.batch_size);
 }
 
 float FedProphet::current_epsilon() const {
@@ -46,6 +41,7 @@ std::int64_t FedProphet::input_dim_of_stage() const {
 }
 
 void FedProphet::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
+  clients_.begin_round(tasks);
   round_lr_ = tasks.empty() ? lr_at(global_round_) : tasks.front().lr;
 
   // Minimum available performance among the cohort (Eq. 15): the last
@@ -158,7 +154,7 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
   cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
   auto& batches = client_batches(k);
   for (std::int64_t it = 0; it < cfg2_.fl.local_iters; ++it)
-    trainer.train_batch(batches.next(), clients_[k].rng);
+    trainer.train_batch(batches.next(), clients_.rng(k));
 
   // Stage the upload: trained atoms (Eq. 16) and the last assigned
   // module's auxiliary head (Eq. 17), each routed through the wire codec
@@ -211,6 +207,7 @@ void FedProphet::apply_update(const fed::TaskSpec& /*task*/, fed::Upload&& up,
 }
 
 void FedProphet::finalize_round(std::int64_t /*t*/) {
+  clients_.end_round();
   acc_.finalize_into(model_);
   acc_.reset();
   for (std::size_t j = 0; j < aux_acc_.size(); ++j) {
@@ -242,11 +239,12 @@ void FedProphet::fix_current_module() {
   cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
   double mean_dz = 0.0, mean_dz_dim = 0.0;
   int samples = 0;
-  const auto probe =
-      std::min<std::size_t>(clients_.size(), 5);  // a handful of clients suffices
+  const auto probe = std::min<std::size_t>(
+      static_cast<std::size_t>(env_->num_clients()),
+      5);  // a handful of clients suffices
   for (std::size_t k = 0; k < probe; ++k) {
     const auto stats = trainer.measure_output_perturbation(
-        client_batches(k).next(), clients_[k].rng);
+        client_batches(k).next(), clients_.rng(k));
     mean_dz += stats.mean_l2;
     mean_dz_dim += stats.mean_per_dim;
     ++samples;
@@ -287,7 +285,9 @@ void FedProphet::train() {
       history_.push_back({global_round_, accs.clean, accs.adv,
                           sim_time_.total(), eps_trace_.back(),
                           total_stats_.bytes_up, total_stats_.bytes_down,
-                          total_stats_.peak_mem_bytes});
+                          total_stats_.peak_mem_bytes,
+                          total_stats_.unique_participants,
+                          total_stats_.agg_bytes_saved});
       const double score = accs.clean + accs.adv;
       if (score > best_score + 1e-6) {
         best_score = score;

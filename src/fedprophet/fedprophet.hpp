@@ -16,6 +16,7 @@
 
 #include "cascade/trainer.hpp"
 #include "fed/algorithm.hpp"
+#include "fed/client_pool.hpp"
 #include "fedprophet/coordinator.hpp"
 
 namespace fp::fedprophet {
@@ -71,10 +72,6 @@ class FedProphet final : public fed::FederatedAlgorithm {
   const FedProphetConfig& config() const { return cfg2_; }
 
  private:
-  struct ClientRt {
-    Rng rng;
-    std::optional<data::BatchIterator> batches;
-  };
   /// Wire payload: the trained atom range, the last assigned module, the
   /// atom blobs (Eq. 16), and that module's auxiliary head (Eq. 17).
   struct Payload {
@@ -106,7 +103,9 @@ class FedProphet final : public fed::FederatedAlgorithm {
   models::BuiltModel model_;
   cascade::CascadeState cascade_;
   AdaptivePerturbation apa_;
-  std::vector<ClientRt> clients_;
+  /// Shared client runtime pool, stream base 1000 (the historical FedProphet
+  /// per-client seeds Rng(seed + 1000 + k), distinct from the baselines' 5000).
+  fed::ClientPool clients_;
   std::vector<StageRecord> stages_;
   std::vector<double> eps_trace_;
 

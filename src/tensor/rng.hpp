@@ -100,6 +100,27 @@ class Rng {
   /// Derive an independent child stream (e.g. one per client).
   Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
+  /// Stateless stream derivation: avalanche-mixes a base seed with a stream
+  /// tag so that `Rng(mix_seed(seed, tag))` is an independent stream that can
+  /// be reconstructed from `(seed, tag)` alone — no generator state needs to
+  /// be kept resident per tag (lazy client pools derive per-client,
+  /// per-dispatch streams this way). SplitMix64 finalizer, bijective in the
+  /// combined word.
+  static constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t tag) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (tag + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Stateless uniform in [0, 1) from a mixed seed word (one-shot draw, no
+  /// generator construction). Used by availability processes that must answer
+  /// "is client k online in round t" as a pure function.
+  static constexpr double mix_uniform(std::uint64_t word) {
+    return static_cast<double>(mix_seed(word, 0x243f6a8885a308d3ULL) >> 11) *
+           0x1.0p-53;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

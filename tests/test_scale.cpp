@@ -1,0 +1,277 @@
+// Scale plane (DESIGN.md §9): plan-backed million-client pools, hierarchical
+// aggregation, and availability churn.
+//
+// The load-bearing invariants:
+//  * Lazy (streamed) client state is an optimization, not a semantic change:
+//    a plan-backed run and its fully-materialized twin produce bit-identical
+//    models for every one of the eight method variants.
+//  * Results are independent of everything that only affects residency or
+//    scheduling — worker thread count, shard-LRU capacity.
+//  * The aggregation tree is exact: edge-merged rounds equal flat rounds
+//    bit for bit; only the byte accounting (and, with the network model on,
+//    the clock) can differ.
+//  * Churn draws from a dedicated stream, so disabling it reproduces the
+//    PR 2-6 goldens (covered by the golden-hash suites) and enabling it is
+//    deterministic across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blob_hash.hpp"
+#include "core/parallel.hpp"
+#include "data/synthetic.hpp"
+#include "exp/runner.hpp"
+#include "fed/churn.hpp"
+#include "fed/client_pool.hpp"
+#include "fed/env.hpp"
+#include "fed/sampler.hpp"
+#include "models/zoo.hpp"
+
+namespace fp {
+namespace {
+
+using test::fnv1a;
+
+std::uint64_t tensor_hash(const Tensor& t) {
+  nn::ParamBlob blob(t.data(), t.data() + t.numel());
+  return fnv1a(blob);
+}
+
+/// A tiny plan-backed scenario; small enough that every method trains in
+/// well under a second per round.
+exp::ExperimentSpec scale_spec(const std::string& method) {
+  exp::ExperimentSpec spec;
+  spec.method = method;
+  for (const char* kv : {
+           "workload=cifar", "model.width=4", "model.classes=4",
+           "data.train_size=240", "data.test_size=80", "fl.num_clients=12",
+           "fl.clients_per_round=4", "fl.local_iters=2", "fl.batch_size=16",
+           "fl.pgd_steps=2", "fl.rounds=2", "fl.lr0=0.05", "fl.sgd.lr=0.05",
+           "fl.seed=123", "fp.rounds_per_module=2", "fp.eval_every=2",
+           "fp.val_samples=32", "env.lazy_clients=1", "env.shard_size=16",
+       })
+    exp::apply_override(spec, kv);
+  return spec;
+}
+
+std::uint64_t train_hash(exp::ExperimentSpec spec) {
+  auto setup = exp::build_setup(std::move(spec));
+  exp::MethodRun run =
+      exp::method_registry().resolve(setup.spec.method)(setup);
+  run.train();
+  return fnv1a(run.algo->global_model().save_all());
+}
+
+TEST(ScalePlane, LazyMatchesMaterializedForAllEightMethods) {
+  for (const auto& name : exp::method_names()) {
+    exp::ExperimentSpec lazy = scale_spec(name);
+
+    exp::ExperimentSpec eager = scale_spec(name);
+    exp::apply_override(eager, "env.lazy_clients=0");
+    exp::apply_override(eager, "env.lazy_materialize=1");
+
+    EXPECT_EQ(train_hash(std::move(lazy)), train_hash(std::move(eager)))
+        << name << ": streamed client state diverged from materialized shards";
+  }
+}
+
+TEST(ScalePlane, LruCapacityDoesNotChangeResults) {
+  exp::ExperimentSpec tight = scale_spec("jFAT");
+  exp::apply_override(tight, "fl.rounds=4");
+  exp::apply_override(tight, "env.client_cache=1");
+
+  exp::ExperimentSpec roomy = scale_spec("jFAT");
+  exp::apply_override(roomy, "fl.rounds=4");
+  exp::apply_override(roomy, "env.client_cache=64");
+
+  // 4 clients/round from a 12-client pool over 4 rounds: re-sampled clients
+  // hit the roomy cache and re-synthesize under the tight one.
+  EXPECT_EQ(train_hash(std::move(tight)), train_hash(std::move(roomy)))
+      << "shard-LRU capacity leaked into the training stream";
+}
+
+TEST(ScalePlane, ChurnIsDeterministicAcrossThreadCounts) {
+  auto churned = [] {
+    exp::ExperimentSpec spec = scale_spec("jFAT");
+    exp::apply_override(spec, "fl.rounds=4");
+    exp::apply_override(spec, "env.churn.enabled=1");
+    exp::apply_override(spec, "env.churn.online_frac=0.7");
+    exp::apply_override(spec, "env.churn.period_rounds=2");
+    exp::apply_override(spec, "env.churn.drop_prob=0.5");
+    return spec;
+  };
+  core::set_num_threads(1);
+  const std::uint64_t h1 = train_hash(churned());
+  core::set_num_threads(4);
+  const std::uint64_t h4 = train_hash(churned());
+  EXPECT_EQ(h1, h4) << "churn outcomes depend on worker thread count";
+}
+
+TEST(ScalePlane, AggregationTreeIsExact) {
+  exp::ExperimentSpec flat = scale_spec("jFAT");
+  auto flat_setup = exp::build_setup(std::move(flat));
+  exp::RunResult flat_run = exp::run_on_setup(flat_setup, "flat");
+
+  exp::ExperimentSpec tree = scale_spec("jFAT");
+  exp::apply_override(tree, "env.aggregators=2");
+  auto tree_setup = exp::build_setup(std::move(tree));
+  exp::RunResult tree_run = exp::run_on_setup(tree_setup, "tree");
+
+  // Without the network model the tree changes residency and byte
+  // accounting only: same model, same clock, same wire traffic.
+  EXPECT_DOUBLE_EQ(flat_run.sim_time.total(), tree_run.sim_time.total());
+  EXPECT_EQ(flat_run.bytes_up, tree_run.bytes_up);
+  EXPECT_EQ(flat_run.bytes_down, tree_run.bytes_down);
+  EXPECT_EQ(flat_run.agg_bytes_saved, 0);
+  EXPECT_GT(tree_run.agg_bytes_saved, 0)
+      << "edge aggregators merged nothing — byte accounting is dead";
+
+  const std::uint64_t flat_hash = train_hash(scale_spec("jFAT"));
+  exp::ExperimentSpec tree2 = scale_spec("jFAT");
+  exp::apply_override(tree2, "env.aggregators=2");
+  EXPECT_EQ(flat_hash, train_hash(std::move(tree2)))
+      << "hierarchical aggregation changed the aggregate";
+}
+
+TEST(ScalePlane, EdgeHopPricesTheClockWhenNetworkModeled) {
+  exp::ExperimentSpec flat = scale_spec("jFAT");
+  exp::apply_override(flat, "comm.model_network=1");
+  auto flat_setup = exp::build_setup(std::move(flat));
+  const double flat_time =
+      exp::run_on_setup(flat_setup, "flat-net").sim_time.total();
+
+  exp::ExperimentSpec tree = scale_spec("jFAT");
+  exp::apply_override(tree, "comm.model_network=1");
+  exp::apply_override(tree, "env.aggregators=2");
+  auto tree_setup = exp::build_setup(std::move(tree));
+  const double tree_time =
+      exp::run_on_setup(tree_setup, "tree-net").sim_time.total();
+
+  EXPECT_GT(tree_time, flat_time)
+      << "the edge->server backbone hop costs nothing";
+}
+
+TEST(LazyShardSource, ShardsAreDeterministicAndMetadataConsistent) {
+  data::ShardPlan plan;
+  plan.synth.num_classes = 6;
+  plan.synth.train_size = 999999;  // never synthesized — metadata only
+  plan.num_clients = 1'000'000;
+  plan.shard_size = 24;
+  const data::LazyShardSource src(plan);
+
+  for (const std::int64_t k : {0LL, 1LL, 777LL, 999'999LL}) {
+    const auto counts = src.shard_class_counts(k);
+    ASSERT_EQ(counts.size(), 6u);
+    std::int64_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, 24) << "client " << k;
+
+    const data::Dataset shard = src.make_shard(k);
+    EXPECT_EQ(shard.size(), 24);
+    EXPECT_EQ(shard.class_histogram(), counts)
+        << "client " << k << ": metadata disagrees with the rendered shard";
+    const data::Dataset again = src.make_shard(k);
+    EXPECT_EQ(tensor_hash(shard.images), tensor_hash(again.images));
+    EXPECT_EQ(shard.labels, again.labels);
+  }
+  // Distinct clients get distinct data (overwhelmingly likely).
+  EXPECT_NE(tensor_hash(src.make_shard(3).images),
+            tensor_hash(src.make_shard(4).images));
+}
+
+TEST(ScalePlane, MetadataOnlyEnvSynthesizesNoShards) {
+  data::SyntheticConfig synth;
+  synth.train_size = 400;
+  synth.test_size = 40;
+  fed::FedEnvConfig cfg;
+  cfg.fl.num_clients = 500'000;
+  cfg.lazy_clients = true;
+  const fed::FedEnv env =
+      fed::make_lazy_env(synth, cfg, models::vgg16_spec(32, 10));
+  EXPECT_TRUE(env.session_mode());
+  EXPECT_TRUE(env.shards.empty());
+  EXPECT_EQ(env.num_clients(), 500'000);
+  EXPECT_FLOAT_EQ(env.weight_of(0), 1.0f / 500'000.0f);
+  EXPECT_EQ(env.test.size(), 40);
+}
+
+TEST(ClientPool, EagerIteratorEvictionBoundsResidency) {
+  data::SyntheticConfig synth;
+  synth.train_size = 320;
+  synth.test_size = 16;
+  synth.num_classes = 4;
+  const data::TrainTest data = data::make_synthetic(synth);
+  fed::FedEnvConfig cfg;
+  cfg.fl.num_clients = 16;
+  cfg.fl.seed = 9;
+  cfg.iter_cache = 2;
+  fed::FedEnv env = fed::make_env(data, cfg, models::vgg16_spec(32, 10));
+
+  fed::ClientPool pool(env, cfg.fl.seed);
+  ASSERT_FALSE(pool.session_mode());
+  struct T { std::size_t client; };
+  for (std::int64_t r = 0; r < 3; ++r) {
+    std::vector<T> tasks;
+    for (std::size_t k = 0; k < 16; k += 2)
+      tasks.push_back({(k + static_cast<std::size_t>(r)) % 16});
+    pool.begin_round(tasks);
+    for (const auto& t : tasks) pool.batches(t.client, 16).next();
+    pool.end_round();
+    EXPECT_LE(pool.resident_iterators(), 2u) << "round " << r;
+  }
+}
+
+TEST(ClientSampler, FloydPathDrawsDistinctSortedReproducibleIds) {
+  fed::ClientSampler a(1'000'000, 77);
+  fed::ClientSampler b(1'000'000, 77);
+  const auto ids = a.sample(1000);
+  ASSERT_EQ(ids.size(), 1000u);
+  EXPECT_EQ(ids, b.sample(1000));
+  std::set<std::size_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_LT(*distinct.rbegin(), 1'000'000u);
+}
+
+TEST(ChurnProcess, OnlineFractionAndSessionPersistence) {
+  fed::ChurnConfig cfg;
+  cfg.enabled = true;
+  cfg.online_frac = 0.6;
+  cfg.period_rounds = 4;
+  const fed::ChurnProcess churn(cfg, 555);
+
+  std::int64_t online = 0;
+  const std::int64_t pool = 20000;
+  for (std::int64_t k = 0; k < pool; ++k)
+    if (churn.online(static_cast<std::size_t>(k), /*round=*/0)) ++online;
+  const double frac = static_cast<double>(online) / static_cast<double>(pool);
+  EXPECT_NEAR(frac, 0.6, 0.02);
+
+  // Availability is a per-epoch session: stable inside a period, redrawn
+  // across periods (some client must flip within a few epochs).
+  bool any_flip = false;
+  for (std::int64_t k = 0; k < 64; ++k) {
+    const bool e0 = churn.online(static_cast<std::size_t>(k), 0);
+    EXPECT_EQ(e0, churn.online(static_cast<std::size_t>(k), 3));
+    for (std::int64_t r = 4; r < 20; r += 4)
+      any_flip |= churn.online(static_cast<std::size_t>(k), r) != e0;
+  }
+  EXPECT_TRUE(any_flip);
+}
+
+TEST(ClientSampler, ChurnFilteredDrawsReturnOnlyOnlineClients) {
+  fed::ChurnConfig cfg;
+  cfg.enabled = true;
+  cfg.online_frac = 0.5;
+  const fed::ChurnProcess churn(cfg, 99);
+  fed::ClientSampler sampler(100'000, 3);
+  const auto ids = sampler.sample(200, &churn, /*round=*/1);
+  ASSERT_EQ(ids.size(), 200u);
+  for (const auto k : ids) EXPECT_TRUE(churn.online(k, 1));
+}
+
+}  // namespace
+}  // namespace fp

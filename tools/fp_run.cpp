@@ -12,6 +12,7 @@
 // FP_BENCH_OUT=<dir> additionally exports the trajectory CSV and the
 // fully-resolved spec (<name>.spec.json) — `fp_run --config <that file>`
 // reproduces the run exactly.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +34,9 @@ int usage(std::FILE* out) {
                "  --config <file.json>  apply a spec file (nested or dotted keys)\n"
                "  --dump-spec <path>    write the fully-resolved spec and exit\n"
                "  --print-spec          print the fully-resolved spec before running\n"
+               "  --plan                print the plan-backed pool's metadata\n"
+               "                        (shard sizes, class skew) without\n"
+               "                        synthesizing any tensors, and exit\n"
                "  --list                list registered methods/models/workloads/\n"
                "                        schedulers/codecs and exit\n"
                "  --keys                list every spec key with default and doc\n"
@@ -85,6 +89,7 @@ void list_keys() {
 int main(int argc, char** argv) {
   std::string config_path, dump_path;
   bool print_spec = false;
+  bool print_plan = false;
   std::vector<std::string> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +105,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--print-spec") {
       print_spec = true;
+      continue;
+    }
+    if (arg == "--plan") {
+      print_plan = true;
       continue;
     }
     if (arg == "--config" || arg == "--dump-spec") {
@@ -145,6 +154,42 @@ int main(int argc, char** argv) {
       }
       out << fp::exp::spec_to_json(resolved);
       std::printf("wrote resolved spec to %s\n", dump_path.c_str());
+      return 0;
+    }
+    if (print_plan) {
+      // Metadata-only: the pool plan is derivable without synthesizing a
+      // single shard, which is the point of plan-backed pools (DESIGN.md §9).
+      const auto src = fp::exp::plan_source(spec);
+      if (!src) {
+        std::fprintf(stderr,
+                     "fp_run: --plan needs a plan-backed pool "
+                     "(env.lazy_clients=1 or env.lazy_materialize=1)\n");
+        return 2;
+      }
+      const auto& plan = src->plan();
+      std::printf("plan-backed pool: %lld clients x %lld samples "
+                  "(%lld classes, seed %llu)\n",
+                  static_cast<long long>(src->num_clients()),
+                  static_cast<long long>(src->shard_size()),
+                  static_cast<long long>(plan.synth.num_classes),
+                  static_cast<unsigned long long>(plan.synth.seed));
+      std::printf("non-IID skew: %.0f%% of each shard concentrated on %.0f%% "
+                  "of classes\n",
+                  100.0 * plan.major_data_fraction,
+                  100.0 * plan.major_class_fraction);
+      const std::int64_t show =
+          std::min<std::int64_t>(src->num_clients(), 8);
+      for (std::int64_t k = 0; k < show; ++k) {
+        const auto counts = src->shard_class_counts(k);
+        std::printf("  client %-8lld classes [", static_cast<long long>(k));
+        for (std::size_t c = 0; c < counts.size(); ++c)
+          std::printf("%s%lld", c ? " " : "",
+                      static_cast<long long>(counts[c]));
+        std::printf("]\n");
+      }
+      if (src->num_clients() > show)
+        std::printf("  ... (%lld more clients, all derivable from the plan)\n",
+                    static_cast<long long>(src->num_clients() - show));
       return 0;
     }
     fp::exp::Setup setup = fp::exp::build_setup(std::move(spec));
