@@ -31,6 +31,7 @@ MethodResult run_method(const std::string& name, BenchSetup& s,
   MethodResult result = exp::run_on_setup(s);
   print_comm_summary(result, s.spec.fl);
   print_mem_summary(result, s);
+  print_net_summary(result);
   return result;
 }
 

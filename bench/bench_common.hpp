@@ -67,6 +67,10 @@ inline void print_mem_summary(const MethodResult& r, const BenchSetup& s) {
   exp::print_mem_line(r, s);
 }
 
+/// One measured-vs-modeled transfer line per distributed-root scenario
+/// (silent for single-process results, so it is safe to call unconditionally).
+inline void print_net_summary(const MethodResult& r) { exp::print_net_line(r); }
+
 /// Process-lifetime peak resident set size in MB (getrusage; 0 if the
 /// platform reports nothing). A whole-process measure, so the interesting
 /// quantity for scale runs is its growth between scenarios, not its level.

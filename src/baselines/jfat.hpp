@@ -32,6 +32,20 @@ class JFat final : public fed::FederatedAlgorithm {
                     fed::ApplyMode mode, float mix) override;
   void finalize_round(std::int64_t t) override;
 
+  // Distributed-runtime hooks (DESIGN.md §10): context = the encoded
+  // broadcast + round lr; uploads travel as the channel-encoded WireMessage
+  // (worker mode) or the dense decoded blob (net.codec=identity).
+  bool net_capable() const override { return true; }
+  void net_save_context(comm::FrameWriter& out) const override;
+  void net_load_context(comm::FrameReader& in) override;
+  void net_begin_group(const std::vector<fed::TaskSpec>& owned) override;
+  void net_end_group() override;
+  void net_encode_upload(const fed::Upload& up,
+                         comm::FrameWriter& out) const override;
+  fed::Upload net_decode_upload(const fed::TaskSpec& task,
+                                comm::FrameReader& in) override;
+  void net_set_worker_mode(bool on) override { net_worker_ = on; }
+
   Rng init_rng_;  ///< seeds weight init (deterministic per cfg.fl.seed)
   models::BuiltModel model_;
   bool adversarial_;
@@ -43,6 +57,10 @@ class JFat final : public fed::FederatedAlgorithm {
   LocalAtConfig at_;
   nn::SgdConfig round_sgd_;
   fed::BlobAverager averager_;
+
+  // Distributed runtime (DESIGN.md §10).
+  bool net_worker_ = false;  ///< stage encoded uplinks instead of blobs
+  comm::WireMessage net_bcast_msg_;  ///< root: the broadcast as encoded
 };
 
 }  // namespace fp::baselines

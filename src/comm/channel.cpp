@@ -1,5 +1,7 @@
 #include "comm/channel.hpp"
 
+#include <stdexcept>
+
 namespace fp::comm {
 
 Channel::Channel(const CommConfig& cfg)
@@ -35,6 +37,38 @@ nn::ParamBlob Channel::uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
   const WireMessage msg = codec_->encode(blob, ref);
   if (wire_bytes) *wire_bytes += msg.wire_bytes();
   return codec_->decode(msg, ref);
+}
+
+WireMessage Channel::encode_down(const nn::ParamBlob& blob) const {
+  const bool dense = !cfg_.compress_downlink ||
+                     codec_->kind() == CodecKind::kIdentity ||
+                     codec_->kind() == CodecKind::kTopK;
+  if (dense) return IdentityCodec().encode(blob);
+  return codec_->encode(blob, nullptr);
+}
+
+WireMessage Channel::encode_up(const nn::ParamBlob& blob,
+                               const nn::ParamBlob* ref) const {
+  if (codec_->kind() == CodecKind::kIdentity)
+    return IdentityCodec().encode(blob);
+  return codec_->encode(blob, ref);
+}
+
+nn::ParamBlob Channel::decode(const WireMessage& msg,
+                              const nn::ParamBlob* ref) const {
+  switch (msg.kind) {
+    case CodecKind::kIdentity:
+      return IdentityCodec().decode(msg);
+    case CodecKind::kFp16:
+      return Fp16Codec().decode(msg);
+    case CodecKind::kInt8:
+      return Int8Codec().decode(msg);
+    case CodecKind::kTopK:
+      // The fraction only steers encode-side selection; decode reads the
+      // kept pairs and the delta flag off the message itself.
+      return TopKCodec(cfg_.topk_fraction, msg.delta).decode(msg, ref);
+  }
+  throw std::invalid_argument("Channel::decode: unknown codec kind");
 }
 
 }  // namespace fp::comm

@@ -45,6 +45,30 @@ class Channel {
   nn::ParamBlob uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
                        std::int64_t* wire_bytes) const;
 
+  // ---- Split halves for the distributed runtime (DESIGN.md §10) -----------
+  // downlink()/uplink() fuse encode+decode because the simulation has both
+  // ends in one process. Over a real socket the encode happens on the
+  // sender, the decode on the receiver, and the WireMessage in between IS
+  // the wire format. The halves preserve the fused paths' exact semantics:
+  // encode_down(b) framing matches downlink's dense/compressed rule,
+  // decode(encode_up(b, ref), ref) is bit-identical to uplink(b, ref), and
+  // wire_bytes() of the returned message equals the fused byte accounting.
+
+  /// The message downlink() would put on the wire (dense identity framing
+  /// unless compress_downlink selects the codec; TopK broadcasts stay dense).
+  WireMessage encode_down(const nn::ParamBlob& blob) const;
+
+  /// The message uplink() would put on the wire (identity framing for the
+  /// identity codec, the configured codec otherwise).
+  WireMessage encode_up(const nn::ParamBlob& blob,
+                        const nn::ParamBlob* ref) const;
+
+  /// Decodes any message by its own codec kind — messages are
+  /// self-describing, so the receiver needs no out-of-band codec agreement.
+  /// `ref` must be the reference blob the encoder used (nullptr for none).
+  nn::ParamBlob decode(const WireMessage& msg,
+                       const nn::ParamBlob* ref = nullptr) const;
+
  private:
   static std::int64_t dense_wire_bytes(const nn::ParamBlob& blob);
 

@@ -1,0 +1,85 @@
+// Frame serialization for the distributed runtime (DESIGN.md §10).
+//
+// A FrameWriter/FrameReader pair is the single encoding used for everything
+// the root and workers exchange above the socket layer: handshake payloads,
+// dispatch contexts (broadcast WireMessages + round scalars), task specs,
+// and finished uploads. The format is a flat byte stream of fixed-width
+// little-endian scalars and length-prefixed containers — no alignment, no
+// padding, so a frame's bytes are a pure function of the written values and
+// both ends of a connection (same build, same architecture) agree on it.
+//
+// Truncated or oversized reads throw WireError: a malformed frame must fail
+// loudly at the field that broke, never yield garbage values.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/codec.hpp"
+
+namespace fp::comm {
+
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class FrameWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+
+  /// u32 length + raw characters.
+  void str(const std::string& s);
+  /// u64 length + raw bytes.
+  void bytes(const std::vector<std::uint8_t>& b);
+  /// u64 element count + raw float bits (dense fp32 blob).
+  void blob(const nn::ParamBlob& b);
+  /// kind u8, delta u8, num_elems u64, u64 payload length + payload.
+  void wire_msg(const WireMessage& msg);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::vector<std::uint8_t> buf_;
+};
+
+class FrameReader {
+ public:
+  FrameReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), size_(size) {}
+  explicit FrameReader(const std::vector<std::uint8_t>& buf)
+      : FrameReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  float f32();
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> bytes();
+  nn::ParamBlob blob();
+  WireMessage wire_msg();
+
+  std::size_t remaining() const { return size_ - off_; }
+  bool done() const { return off_ == size_; }
+
+ private:
+  void raw(void* p, std::size_t n);
+  /// Validates a container length against the bytes actually left.
+  std::size_t checked_count(std::uint64_t count, std::size_t elem_size);
+
+  const std::uint8_t* p_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace fp::comm

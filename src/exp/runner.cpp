@@ -298,6 +298,10 @@ attack::RobustEvalConfig eval_config(const ExperimentSpec& spec) {
 RunResult run_on_setup(Setup& setup, const std::string& label) {
   const MethodFactory& factory = method_registry().resolve(setup.spec.method);
   MethodRun run = factory(setup);
+  return run_built(setup, run, label);
+}
+
+RunResult run_built(Setup& setup, MethodRun& run, const std::string& label) {
   run.train();
 
   RunResult r;
@@ -312,6 +316,7 @@ RunResult run_on_setup(Setup& setup, const std::string& label) {
   r.dropped = stats.dropped_stragglers + stats.dropped_out;
   r.unique_participants = stats.unique_participants;
   r.agg_bytes_saved = stats.agg_bytes_saved;
+  r.measured_comm_s = stats.measured_comm_s;
   r.exported_csv = export_run_artifacts(setup.spec, r.name, r.history);
   r.metrics = run.evaluate(eval_config(setup.spec));
   return r;
@@ -366,6 +371,16 @@ void print_mem_line(const RunResult& r, const Setup& s) {
       s.spec.fl.mem.checkpointing ? "on" : "off", r.over_budget);
 }
 
+void print_net_line(const RunResult& r) {
+  if (r.net_workers == 0) return;
+  std::printf(
+      "    [net]  %-12s workers %zu  tx %8.2f MB  rx %8.2f MB  "
+      "measured %.3g s  modeled %.3g s\n",
+      r.name.c_str(), r.net_workers, static_cast<double>(r.net_tx_bytes) / 1e6,
+      static_cast<double>(r.net_rx_bytes) / 1e6, r.measured_comm_s,
+      r.sim_time.comm_s);
+}
+
 void print_run_summary(const Setup& s, const RunResult& r) {
   const WorkloadInfo& wl = workload_registry().resolve(s.spec.workload);
   std::printf("\n-- %s · %s · %s scheduler · %s fleet --\n", r.name.c_str(),
@@ -394,6 +409,7 @@ void print_run_summary(const Setup& s, const RunResult& r) {
   std::printf("\n");
   print_comm_line(r, s.spec.fl);
   print_mem_line(r, s);
+  print_net_line(r);
   if (!r.exported_csv.empty())
     std::printf("exported: %s (+ .spec.json)\n", r.exported_csv.c_str());
 }

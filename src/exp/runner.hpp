@@ -79,6 +79,12 @@ struct RunResult {
   std::size_t dropped = 0;          ///< straggler-cutoff + dropout discards
   std::int64_t unique_participants = 0;  ///< distinct clients ever dispatched
   std::int64_t agg_bytes_saved = 0;      ///< backbone bytes the edge tier merged away
+  /// Distributed-root run (net.role=root; all zero single-process): real
+  /// socket traffic and measured transfer seconds next to the modeled comm_s.
+  double measured_comm_s = 0.0;
+  std::int64_t net_tx_bytes = 0;
+  std::int64_t net_rx_bytes = 0;
+  std::size_t net_workers = 0;
   std::string exported_csv;         ///< FP_BENCH_OUT trajectory path ("" = off)
 };
 
@@ -90,6 +96,12 @@ attack::RobustEvalConfig eval_config(const ExperimentSpec& spec);
 /// rely on), evaluates, and exports artifacts. `label` overrides the result/
 /// export name (default: the method name).
 RunResult run_on_setup(Setup& setup, const std::string& label = "");
+
+/// Trains an ALREADY-CONSTRUCTED method instance on its setup — what
+/// run_on_setup does after the factory call. The distributed root
+/// (net::serve_root) constructs the method early to validate net-capability
+/// before accepting workers, then drives training through this.
+RunResult run_built(Setup& setup, MethodRun& run, const std::string& label = "");
 
 /// Fresh setup + run_on_setup: the fp_run / scenario-bench entry point.
 RunResult run_experiment(ExperimentSpec spec, const std::string& label = "");
@@ -106,6 +118,10 @@ void print_comm_line(const RunResult& r, const fed::FlConfig& fl);
 
 /// One [mem] planned-vs-measured line for a trained run.
 void print_mem_line(const RunResult& r, const Setup& s);
+
+/// One [net] measured-vs-modeled transfer line for a distributed-root run
+/// (no-op when r.net_workers == 0).
+void print_net_line(const RunResult& r);
 
 /// fp_run's report: history tail, final metrics, time/comm/mem summaries.
 void print_run_summary(const Setup& s, const RunResult& r);

@@ -424,6 +424,40 @@ std::vector<KeyDef> build_schema() {
                   return s.fl.churn.drop_prob;
                 }));
 
+  // ---- distributed runtime (DESIGN.md §10) ----------------------------------
+  add(string_key(
+      "net.role", "distributed role: off (single-process), root, or worker",
+      [](ExperimentSpec& s) -> std::string& { return s.net_role; },
+      [](const std::string& v) {
+        if (v != "off" && v != "root" && v != "worker")
+          throw SpecError(
+              unknown_name_message("net.role", v, {"off", "root", "worker"}));
+      }));
+  add(string_key(
+      "net.host", "root endpoint host",
+      [](ExperimentSpec& s) -> std::string& { return s.net_host; }));
+  add(field_key("net.port", "root endpoint port (0 = ephemeral, tests)",
+                [](ExperimentSpec& s) -> std::int64_t& { return s.net_port; }));
+  add(field_key("net.workers", "worker connections the root waits for",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.net_workers;
+                }));
+  add(string_key(
+      "net.codec",
+      "upload form on the wire: auto (ship comm.codec's encoding) or "
+      "identity (dense fp32)",
+      [](ExperimentSpec& s) -> std::string& { return s.net_codec; },
+      [](const std::string& v) {
+        if (v != "auto" && v != "identity")
+          throw SpecError(
+              unknown_name_message("net.codec", v, {"auto", "identity"}));
+      }));
+  add(field_key("net.timeout_s",
+                "root-side receive timeout per frame (seconds; <= 0 = none)",
+                [](ExperimentSpec& s) -> double& { return s.net_timeout_s; }));
+  add(field_key("net.retry_s", "worker connect retry window (seconds)",
+                [](ExperimentSpec& s) -> double& { return s.net_retry_s; }));
+
   // ---- evaluation -----------------------------------------------------------
   add(field_key("eval.pgd_steps", "PGD steps of the final evaluation",
                 [](ExperimentSpec& s) -> int& { return s.eval_pgd_steps; }));

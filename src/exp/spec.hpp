@@ -65,6 +65,16 @@ struct ExperimentSpec {
   /// 0 = auto (trainable full-training mem / paper-model full-training mem).
   double device_mem_scale = 0.0;
 
+  // distributed runtime (DESIGN.md §10)
+  std::string net_role = "off";     ///< off (single-process) | root | worker
+  std::string net_host = "127.0.0.1";  ///< root endpoint host
+  std::int64_t net_port = 7171;     ///< root endpoint port (0 = ephemeral)
+  std::int64_t net_workers = 2;     ///< workers the root waits for
+  std::string net_codec = "auto";   ///< auto = ship comm.codec's encoding;
+                                    ///< identity = dense fp32 uploads
+  double net_timeout_s = 120.0;     ///< root-side per-frame receive timeout
+  double net_retry_s = 10.0;        ///< worker connect retry window (seconds)
+
   // evaluation (attack::RobustEvalConfig surface + snapshot cadence)
   int eval_pgd_steps = 10;
   int eval_aa_steps = 12;

@@ -24,6 +24,7 @@ void FederatedAlgorithm::run_round(std::int64_t t) {
   // Already cumulative in the engine (distinct-client set size).
   total_stats_.unique_participants = last_stats_.unique_participants;
   total_stats_.agg_bytes_saved += last_stats_.agg_bytes_saved;
+  total_stats_.measured_comm_s += last_stats_.measured_comm_s;
 }
 
 void FederatedAlgorithm::run(std::int64_t eval_every) {
@@ -56,6 +57,7 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   rec.peak_mem_bytes = total_stats_.peak_mem_bytes;
   rec.unique_participants = total_stats_.unique_participants;
   rec.agg_bytes_saved = total_stats_.agg_bytes_saved;
+  rec.measured_comm_s = total_stats_.measured_comm_s;
   return rec;
 }
 

@@ -125,6 +125,10 @@ struct RoundRecord {
   std::int64_t unique_participants = 0;
   /// Cumulative backbone bytes saved by edge pre-reduction (0 when flat).
   std::int64_t agg_bytes_saved = 0;
+  /// Cumulative MEASURED wire-transfer seconds of a distributed root run
+  /// (real clock, DESIGN.md §10; 0 in single-process runs) — the column the
+  /// modeled comm_s inside sim_time_s is checked against.
+  double measured_comm_s = 0.0;
 };
 
 using History = std::vector<RoundRecord>;

@@ -13,6 +13,8 @@
 
 namespace fp::fed {
 
+class RemoteDispatcher;
+
 struct FedEnv {
   data::Dataset test;
   data::Dataset public_set;           ///< server-side KD data (may be empty)
@@ -42,6 +44,12 @@ struct FedEnv {
   /// instead of the O(pool) device_of_client table.
   bool stateless_binding = false;
   std::uint64_t bind_seed = 0;
+
+  // --- Distributed runtime (DESIGN.md §10) --------------------------------
+  /// Non-null only on the root of a distributed run (src/net/): the sync
+  /// scheduler ships dispatch groups through it instead of training
+  /// in-process. Not owned; workers and single-process runs leave it null.
+  RemoteDispatcher* remote = nullptr;
 
   std::int64_t num_clients() const {
     return pool_size > 0 ? pool_size

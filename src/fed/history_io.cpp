@@ -34,15 +34,17 @@ bool write_history_csv(const std::string& path, const History& history) {
   if (!f) return false;
   std::fprintf(f,
                "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,"
-               "peak_mem_bytes,unique_participants,agg_bytes_saved,extra\n");
+               "peak_mem_bytes,unique_participants,agg_bytes_saved,"
+               "measured_comm_s,extra\n");
   for (const auto& rec : history)
-    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%lld,%lld,%.9g\n",
+    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%lld,%lld,%.9g,%.9g\n",
                  static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
                  rec.sim_time_s, static_cast<long long>(rec.bytes_up),
                  static_cast<long long>(rec.bytes_down),
                  static_cast<long long>(rec.peak_mem_bytes),
                  static_cast<long long>(rec.unique_participants),
-                 static_cast<long long>(rec.agg_bytes_saved), rec.extra);
+                 static_cast<long long>(rec.agg_bytes_saved),
+                 rec.measured_comm_s, rec.extra);
   return std::fclose(f) == 0;
 }
 
@@ -59,14 +61,16 @@ bool write_history_json(const std::string& path, const std::string& method,
                  "\"adv_acc\": %.9g, \"sim_time_s\": %.9g, "
                  "\"bytes_up\": %lld, \"bytes_down\": %lld, "
                  "\"peak_mem_bytes\": %lld, \"unique_participants\": %lld, "
-                 "\"agg_bytes_saved\": %lld, \"extra\": %.9g}",
+                 "\"agg_bytes_saved\": %lld, \"measured_comm_s\": %.9g, "
+                 "\"extra\": %.9g}",
                  i ? "," : "", static_cast<long long>(rec.round), rec.clean_acc,
                  rec.adv_acc, rec.sim_time_s,
                  static_cast<long long>(rec.bytes_up),
                  static_cast<long long>(rec.bytes_down),
                  static_cast<long long>(rec.peak_mem_bytes),
                  static_cast<long long>(rec.unique_participants),
-                 static_cast<long long>(rec.agg_bytes_saved), rec.extra);
+                 static_cast<long long>(rec.agg_bytes_saved),
+                 rec.measured_comm_s, rec.extra);
   }
   std::fprintf(f, "\n]}\n");
   return std::fclose(f) == 0;

@@ -9,12 +9,15 @@
 namespace fp::fed {
 
 /// Writes `round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,
-/// peak_mem_bytes,unique_participants,agg_bytes_saved,extra` rows (with a
-/// header); the byte columns are cumulative wire traffic, peak_mem_bytes the
-/// max measured client training peak so far (0 unless the mem subsystem's
-/// measurement is on), unique_participants the distinct clients applied so
-/// far, and agg_bytes_saved the cumulative backbone bytes absorbed by edge
-/// aggregators (0 when aggregation is flat).
+/// peak_mem_bytes,unique_participants,agg_bytes_saved,measured_comm_s,extra`
+/// rows (with a header); the byte columns are cumulative wire traffic,
+/// peak_mem_bytes the max measured client training peak so far (0 unless the
+/// mem subsystem's measurement is on), unique_participants the distinct
+/// clients applied so far, agg_bytes_saved the cumulative backbone bytes
+/// absorbed by edge aggregators (0 when aggregation is flat), and
+/// measured_comm_s the cumulative real-clock transfer seconds of a
+/// distributed root run (0 single-process) next to the modeled comm time
+/// inside sim_time_s.
 /// Creates parent directories as needed. Returns false on I/O failure.
 bool write_history_csv(const std::string& path, const History& history);
 

@@ -65,11 +65,21 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
     const std::size_t end = n * (g + 1) / groups;
     if (begin == end) continue;
     std::vector<Upload> uploads(end - begin);
-    core::parallel_tasks(static_cast<std::int64_t>(end - begin),
-                         [&](std::int64_t ti) {
-                           const auto i = static_cast<std::size_t>(ti);
-                           uploads[i] = eng.run_client(m, tasks[begin + i]);
-                         });
+    if (eng.remote_active()) {
+      // Distributed root (DESIGN.md §10): the group trains on the connected
+      // workers. The dispatcher returns the same slot-ordered uploads the
+      // local loop would have produced (decoded against this process's own
+      // broadcast references), so everything below — byte accounting, sim
+      // time, apply order — is unchanged and the round is bit-identical.
+      st.measured_comm_s +=
+          eng.remote()->run_group(m, tasks, begin, end, uploads);
+    } else {
+      core::parallel_tasks(static_cast<std::int64_t>(end - begin),
+                           [&](std::int64_t ti) {
+                             const auto i = static_cast<std::size_t>(ti);
+                             uploads[i] = eng.run_client(m, tasks[begin + i]);
+                           });
+    }
 
     // Wave time: the slowest member's download + train + upload (the comm
     // term is zero unless comm.model_network is on, which keeps the pre-comm
@@ -125,6 +135,12 @@ AsyncScheduler::AsyncScheduler(const AsyncConfig& cfg, std::uint64_t seed)
 
 void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
                               std::int64_t count, RoundStats& st) {
+  // The net layer validates this up front (fp_run exits with a SpecError);
+  // this guard catches direct engine users.
+  if (eng.remote_active())
+    throw std::runtime_error(
+        "distributed runtime: the async scheduler is not supported "
+        "(net.role=root requires fl.scheduler=sync)");
   auto tasks = eng.sample_tasks(t, count);
 
   // Dropout is decided at dispatch from a dedicated stream, in slot order.

@@ -1,6 +1,8 @@
 #include "fedprophet/fedprophet.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "fed/budget_exec.hpp"
 
@@ -30,6 +32,8 @@ data::BatchIterator& FedProphet::client_batches(std::size_t k) {
 }
 
 float FedProphet::current_epsilon() const {
+  // Worker replicas have no APA state: eps arrives with the dispatch context.
+  if (net_ctx_) return net_eps_;
   // Module 1 always trains at the fixed input budget eps_0 (paper footnote 3).
   if (stage_ == 0) return cfg2_.fl.epsilon0;
   return apa_.epsilon();
@@ -70,21 +74,40 @@ void FedProphet::begin_dispatch(const std::vector<fed::TaskSpec>& tasks) {
     const std::size_t num_modules = cascade_.num_modules();
     const auto& channel = engine().channel();
     broadcast_bytes_ = 0;
-    broadcast_ = channel.downlink(model_.save_all(), &broadcast_bytes_);
-    broadcast_aux_.assign(num_modules, {});
-    for (std::size_t j = stage_; j < num_modules; ++j)
-      broadcast_aux_[j] = channel.downlink(cascade_.save_aux(j),
-                                           &broadcast_bytes_);
-    // Per-atom slices of the broadcast (save_all concatenates atom blobs in
-    // order): the reference both ends share for delta-coded atom uplinks.
-    broadcast_atoms_.resize(atom_blob_elems_.size());
-    std::size_t off = 0;
-    for (std::size_t a = 0; a < atom_blob_elems_.size(); ++a) {
-      broadcast_atoms_[a].assign(broadcast_.begin() + off,
-                                 broadcast_.begin() + off +
-                                     atom_blob_elems_[a]);
-      off += atom_blob_elems_[a];
+    if (engine().remote_active()) {
+      // Distributed root: capture the encoded broadcast so net_save_context
+      // ships the exact messages; decoding them here is bit- and
+      // byte-identical to the fused downlink both ends run single-process.
+      net_bcast_msg_ = channel.encode_down(model_.save_all());
+      broadcast_bytes_ += net_bcast_msg_.wire_bytes();
+      broadcast_ = channel.decode(net_bcast_msg_);
+      net_aux_msgs_.assign(num_modules, {});
+      broadcast_aux_.assign(num_modules, {});
+      for (std::size_t j = stage_; j < num_modules; ++j) {
+        net_aux_msgs_[j] = channel.encode_down(cascade_.save_aux(j));
+        broadcast_bytes_ += net_aux_msgs_[j].wire_bytes();
+        broadcast_aux_[j] = channel.decode(net_aux_msgs_[j]);
+      }
+    } else {
+      broadcast_ = channel.downlink(model_.save_all(), &broadcast_bytes_);
+      broadcast_aux_.assign(num_modules, {});
+      for (std::size_t j = stage_; j < num_modules; ++j)
+        broadcast_aux_[j] = channel.downlink(cascade_.save_aux(j),
+                                             &broadcast_bytes_);
     }
+    rebuild_atom_slices();
+  }
+}
+
+void FedProphet::rebuild_atom_slices() {
+  // Per-atom slices of the broadcast (save_all concatenates atom blobs in
+  // order): the reference both ends share for delta-coded atom uplinks.
+  broadcast_atoms_.resize(atom_blob_elems_.size());
+  std::size_t off = 0;
+  for (std::size_t a = 0; a < atom_blob_elems_.size(); ++a) {
+    broadcast_atoms_[a].assign(broadcast_.begin() + off,
+                               broadcast_.begin() + off + atom_blob_elems_[a]);
+    off += atom_blob_elems_[a];
   }
 }
 
@@ -160,6 +183,32 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
   // module's auxiliary head (Eq. 17), each routed through the wire codec
   // with its broadcast slice as the shared delta reference.
   const auto& channel = engine().channel();
+  up.weight = task.weight;
+  up.bytes_down = broadcast_bytes_;
+  if (net_worker_) {
+    // Worker mode: stage the ENCODED messages — the root decodes them
+    // against its identical broadcast slices, so the aggregated blobs match
+    // the fused uplink bit-for-bit without assuming codec idempotence.
+    NetPayload np;
+    np.atom_begin = trainer.atom_begin();
+    np.atom_end = trainer.atom_end();
+    np.module_end = module_end;
+    np.atoms.reserve(np.atom_end - np.atom_begin);
+    for (std::size_t a = np.atom_begin; a < np.atom_end; ++a) {
+      comm::WireMessage msg =
+          channel.encode_up(local_model.save_atom(a), &broadcast_atoms_[a]);
+      up.bytes_up += msg.wire_bytes();
+      np.atoms.push_back(std::move(msg));
+    }
+    if (local_cascade.aux_head(module_end - 1)) {
+      np.has_aux = true;
+      np.aux = channel.encode_up(local_cascade.save_aux(module_end - 1),
+                                 &broadcast_aux_[module_end - 1]);
+      up.bytes_up += np.aux.wire_bytes();
+    }
+    up.payload = std::move(np);
+    return up;
+  }
   Payload p;
   p.atom_begin = trainer.atom_begin();
   p.atom_end = trainer.atom_end();
@@ -172,8 +221,6 @@ fed::Upload FedProphet::train_client(const fed::TaskSpec& task) {
     p.aux = channel.uplink(local_cascade.save_aux(module_end - 1),
                            &broadcast_aux_[module_end - 1], &up.bytes_up);
 
-  up.weight = task.weight;
-  up.bytes_down = broadcast_bytes_;
   up.payload = std::move(p);
   return up;
 }
@@ -229,25 +276,46 @@ void FedProphet::finalize_round(std::int64_t /*t*/) {
 void FedProphet::fix_current_module() {
   // Collect E[max ||Delta z_m||] from client data at the fixed module
   // (feeds eps for the next stage, Eq. 11).
-  cascade::LocalTrainConfig tcfg;
-  tcfg.module_begin = stage_;
-  tcfg.module_end = stage_ + 1;
-  tcfg.mu = cfg2_.mu;
-  tcfg.eps_in = current_epsilon();
-  tcfg.pgd_steps = cfg2_.fl.pgd_steps;
-  tcfg.compute = cfg2_.fl.compute;
-  cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
   double mean_dz = 0.0, mean_dz_dim = 0.0;
   int samples = 0;
   const auto probe = std::min<std::size_t>(
       static_cast<std::size_t>(env_->num_clients()),
       5);  // a handful of clients suffices
-  for (std::size_t k = 0; k < probe; ++k) {
-    const auto stats = trainer.measure_output_perturbation(
-        client_batches(k).next(), clients_.rng(k));
-    mean_dz += stats.mean_l2;
-    mean_dz_dim += stats.mean_per_dim;
-    ++samples;
+  if (engine().remote_active()) {
+    // The probed clients' data iterators and RNG streams live on their
+    // owning workers: fan the probe out as a custom op and sum the per-client
+    // statistics in client order, exactly as the local loop below does.
+    comm::FrameWriter ctx;
+    ctx.blob(model_.save_all());
+    ctx.blob(cascade_.save_aux(stage_));
+    ctx.u64(stage_);
+    ctx.f32(current_epsilon());
+    std::vector<std::size_t> clients(probe);
+    for (std::size_t k = 0; k < probe; ++k) clients[k] = k;
+    const auto frames =
+        engine().remote()->run_custom(kNetOpProbeDz, ctx.data(), clients);
+    for (const auto& frame : frames) {
+      comm::FrameReader in(frame);
+      mean_dz += in.f64();
+      mean_dz_dim += in.f64();
+      ++samples;
+    }
+  } else {
+    cascade::LocalTrainConfig tcfg;
+    tcfg.module_begin = stage_;
+    tcfg.module_end = stage_ + 1;
+    tcfg.mu = cfg2_.mu;
+    tcfg.eps_in = current_epsilon();
+    tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+    tcfg.compute = cfg2_.fl.compute;
+    cascade::CascadeLocalTrainer trainer(cascade_, tcfg);
+    for (std::size_t k = 0; k < probe; ++k) {
+      const auto stats = trainer.measure_output_perturbation(
+          client_batches(k).next(), clients_.rng(k));
+      mean_dz += stats.mean_l2;
+      mean_dz_dim += stats.mean_per_dim;
+      ++samples;
+    }
   }
   mean_dz /= samples;
   mean_dz_dim /= samples;
@@ -256,6 +324,123 @@ void FedProphet::fix_current_module() {
   auto& rec = stages_.back();
   rec.mean_dz = mean_dz;
   rec.mean_dz_per_dim = mean_dz_dim;
+}
+
+// ---- Distributed-runtime hooks (DESIGN.md §10) ------------------------------
+
+void FedProphet::net_save_context(comm::FrameWriter& out) const {
+  out.u64(static_cast<std::uint64_t>(stage_));
+  out.f32(current_epsilon());
+  out.f64(perf_min_);
+  out.f32(round_lr_);
+  out.i64(broadcast_bytes_);
+  out.wire_msg(net_bcast_msg_);
+  for (std::size_t j = stage_; j < cascade_.num_modules(); ++j)
+    out.wire_msg(net_aux_msgs_[j]);
+}
+
+void FedProphet::net_load_context(comm::FrameReader& in) {
+  const auto& channel = engine().channel();
+  stage_ = static_cast<std::size_t>(in.u64());
+  net_eps_ = in.f32();
+  net_ctx_ = true;
+  perf_min_ = in.f64();
+  round_lr_ = in.f32();
+  broadcast_bytes_ = in.i64();
+  broadcast_ = channel.decode(in.wire_msg());
+  const std::size_t num_modules = cascade_.num_modules();
+  broadcast_aux_.assign(num_modules, {});
+  for (std::size_t j = stage_; j < num_modules; ++j)
+    broadcast_aux_[j] = channel.decode(in.wire_msg());
+  rebuild_atom_slices();
+}
+
+void FedProphet::net_begin_group(const std::vector<fed::TaskSpec>& owned) {
+  // Pool bookkeeping over the OWNED tasks only: this worker's per-client
+  // dispatch counts advance exactly as the single-process run's do.
+  clients_.begin_round(owned);
+}
+
+void FedProphet::net_end_group() { clients_.end_round(); }
+
+void FedProphet::net_encode_upload(const fed::Upload& up,
+                                   comm::FrameWriter& out) const {
+  write_upload_base(up, out);
+  if (up.payload.type() == typeid(NetPayload)) {
+    const auto& p = std::any_cast<const NetPayload&>(up.payload);
+    out.u64(p.atom_begin);
+    out.u64(p.atom_end);
+    out.u64(p.module_end);
+    out.u8(1);  // channel-encoded payload
+    for (const auto& msg : p.atoms) out.wire_msg(msg);
+    out.u8(p.has_aux ? 1 : 0);
+    if (p.has_aux) out.wire_msg(p.aux);
+  } else {
+    const auto& p = std::any_cast<const Payload&>(up.payload);
+    out.u64(p.atom_begin);
+    out.u64(p.atom_end);
+    out.u64(p.module_end);
+    out.u8(0);  // dense fp32 payload (net.codec=identity)
+    for (const auto& blob : p.atoms) out.blob(blob);
+    out.u8(p.aux.empty() ? 0 : 1);
+    if (!p.aux.empty()) out.blob(p.aux);
+  }
+}
+
+fed::Upload FedProphet::net_decode_upload(const fed::TaskSpec& /*task*/,
+                                          comm::FrameReader& in) {
+  fed::Upload up;
+  read_upload_base(up, in);
+  Payload p;
+  p.atom_begin = static_cast<std::size_t>(in.u64());
+  p.atom_end = static_cast<std::size_t>(in.u64());
+  p.module_end = static_cast<std::size_t>(in.u64());
+  const bool encoded = in.u8() != 0;
+  const auto& channel = engine().channel();
+  p.atoms.reserve(p.atom_end - p.atom_begin);
+  for (std::size_t a = p.atom_begin; a < p.atom_end; ++a)
+    p.atoms.push_back(encoded
+                          ? channel.decode(in.wire_msg(), &broadcast_atoms_[a])
+                          : in.blob());
+  if (in.u8() != 0)
+    p.aux = encoded ? channel.decode(in.wire_msg(),
+                                     &broadcast_aux_[p.module_end - 1])
+                    : in.blob();
+  up.payload = std::move(p);
+  return up;
+}
+
+void FedProphet::net_custom_op(std::uint32_t op, comm::FrameReader& ctx,
+                               std::size_t client, comm::FrameWriter& out) {
+  if (op != kNetOpProbeDz)
+    throw std::logic_error("FedProphet: unknown net custom op " +
+                           std::to_string(op));
+  // Rebuild the root's exact post-stage state from the context and run the
+  // ||Delta z|| probe on this worker-owned client's data stream. The replica
+  // is rebuilt per client; the batch iterator and RNG advance once per
+  // probed client, matching the single-process loop.
+  const nn::ParamBlob model_blob = ctx.blob();
+  const nn::ParamBlob aux_blob = ctx.blob();
+  const auto stage = static_cast<std::size_t>(ctx.u64());
+  const float eps = ctx.f32();
+  Rng build_rng(0);
+  models::BuiltModel local_model(model_.spec(), build_rng);
+  local_model.load_all(model_blob);
+  cascade::CascadeState local_cascade(local_model, cascade_.partition(),
+                                      build_rng);
+  local_cascade.load_aux(stage, aux_blob);
+  cascade::LocalTrainConfig tcfg;
+  tcfg.module_begin = stage;
+  tcfg.module_end = stage + 1;
+  tcfg.mu = cfg2_.mu;
+  tcfg.eps_in = eps;
+  tcfg.pgd_steps = cfg2_.fl.pgd_steps;
+  tcfg.compute = cfg2_.fl.compute;
+  cascade::CascadeLocalTrainer trainer(local_cascade, tcfg);
+  const auto stats = trainer.measure_output_perturbation(
+      client_batches(client).next(), clients_.rng(client));
+  out.f64(stats.mean_l2);
+  out.f64(stats.mean_per_dim);
 }
 
 void FedProphet::train() {
@@ -287,7 +472,8 @@ void FedProphet::train() {
                           total_stats_.bytes_up, total_stats_.bytes_down,
                           total_stats_.peak_mem_bytes,
                           total_stats_.unique_participants,
-                          total_stats_.agg_bytes_saved});
+                          total_stats_.agg_bytes_saved,
+                          total_stats_.measured_comm_s});
       const double score = accs.clean + accs.adv;
       if (score > best_score + 1e-6) {
         best_score = score;

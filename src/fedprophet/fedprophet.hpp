@@ -80,6 +80,19 @@ class FedProphet final : public fed::FederatedAlgorithm {
     nn::ParamBlob aux;
   };
 
+  /// Worker-mode wire payload: the same structure as Payload, but each blob
+  /// is still the channel-encoded WireMessage captured at uplink time (the
+  /// root decodes against its own broadcast slices).
+  struct NetPayload {
+    std::size_t atom_begin = 0, atom_end = 0, module_end = 0;
+    std::vector<comm::WireMessage> atoms;
+    bool has_aux = false;
+    comm::WireMessage aux;
+  };
+
+  /// RemoteDispatcher custom op: the fix_current_module ||Delta z|| probe.
+  static constexpr std::uint32_t kNetOpProbeDz = 1;
+
   // RoundEngine hooks: Differentiated Module Assignment decides what each
   // client trains; uploads partial-average per atom plus aux heads.
   void begin_dispatch(const std::vector<fed::TaskSpec>& tasks) override;
@@ -87,6 +100,23 @@ class FedProphet final : public fed::FederatedAlgorithm {
   void apply_update(const fed::TaskSpec& task, fed::Upload&& up,
                     fed::ApplyMode mode, float mix) override;
   void finalize_round(std::int64_t t) override;
+
+  // Distributed-runtime hooks (DESIGN.md §10): context = stage + eps +
+  // perf_min + lr + the encoded broadcast (model and live aux heads);
+  // uploads are per-atom/aux WireMessages; the dz probe fans out as a
+  // custom op so worker-owned client streams advance exactly once.
+  bool net_capable() const override { return true; }
+  void net_save_context(comm::FrameWriter& out) const override;
+  void net_load_context(comm::FrameReader& in) override;
+  void net_begin_group(const std::vector<fed::TaskSpec>& owned) override;
+  void net_end_group() override;
+  void net_encode_upload(const fed::Upload& up,
+                         comm::FrameWriter& out) const override;
+  fed::Upload net_decode_upload(const fed::TaskSpec& task,
+                                comm::FrameReader& in) override;
+  void net_custom_op(std::uint32_t op, comm::FrameReader& ctx,
+                     std::size_t client, comm::FrameWriter& out) override;
+  void net_set_worker_mode(bool on) override { net_worker_ = on; }
   /// FedProphet prices its ClientWork on the trainable backbone (atom ranges
   /// index the cascade partition), not the paper-shape cost spec.
   const sys::ModelSpec& time_spec(const fed::FedEnv&) const override {
@@ -97,6 +127,8 @@ class FedProphet final : public fed::FederatedAlgorithm {
   float current_epsilon() const;
   std::int64_t input_dim_of_stage() const;
   void fix_current_module();
+  /// Rebuilds broadcast_atoms_ as per-atom slices of broadcast_.
+  void rebuild_atom_slices();
 
   Rng init_rng_;  ///< seeds weight/aux-head init (per cfg.fl.seed)
   FedProphetConfig cfg2_;
@@ -120,6 +152,13 @@ class FedProphet final : public fed::FederatedAlgorithm {
   std::vector<double> perf_window_;  ///< last clients_per_round device speeds
   fed::PartialAccumulator acc_;
   std::vector<fed::BlobAverager> aux_acc_;
+
+  // Distributed runtime (DESIGN.md §10).
+  bool net_worker_ = false;   ///< stage encoded uplinks instead of blobs
+  bool net_ctx_ = false;      ///< a dispatch context has been loaded (worker)
+  float net_eps_ = 0.0f;      ///< eps from context: APA state lives root-side
+  comm::WireMessage net_bcast_msg_;  ///< root: the model broadcast as encoded
+  std::vector<comm::WireMessage> net_aux_msgs_;  ///< root: aux heads encoded
 
   std::size_t stage_ = 0;           ///< current module index m
   std::int64_t global_round_ = 0;   ///< t across all stages

@@ -1,0 +1,41 @@
+#include "net/protocol.hpp"
+
+namespace fp::net {
+
+void write_task(const fed::TaskSpec& task, comm::FrameWriter& out) {
+  out.i64(task.round);
+  out.u64(static_cast<std::uint64_t>(task.slot));
+  out.u64(static_cast<std::uint64_t>(task.client));
+  out.f32(task.lr);
+  out.f32(task.weight);
+  out.u8(task.has_device ? 1 : 0);
+  out.u64(static_cast<std::uint64_t>(task.device.pool_index));
+  out.str(task.device.name);
+  out.i64(task.device.avail_mem_bytes);
+  out.f64(task.device.avail_flops);
+  out.f64(task.device.io_bytes_per_s);
+  out.f64(task.device.net_down_bytes_per_s);
+  out.f64(task.device.net_up_bytes_per_s);
+  out.f64(task.device.net_latency_s);
+}
+
+fed::TaskSpec read_task(comm::FrameReader& in) {
+  fed::TaskSpec task;
+  task.round = in.i64();
+  task.slot = static_cast<std::size_t>(in.u64());
+  task.client = static_cast<std::size_t>(in.u64());
+  task.lr = in.f32();
+  task.weight = in.f32();
+  task.has_device = in.u8() != 0;
+  task.device.pool_index = static_cast<std::size_t>(in.u64());
+  task.device.name = in.str();
+  task.device.avail_mem_bytes = in.i64();
+  task.device.avail_flops = in.f64();
+  task.device.io_bytes_per_s = in.f64();
+  task.device.net_down_bytes_per_s = in.f64();
+  task.device.net_up_bytes_per_s = in.f64();
+  task.device.net_latency_s = in.f64();
+  return task;
+}
+
+}  // namespace fp::net

@@ -1,0 +1,44 @@
+// Message vocabulary of the root/worker protocol (DESIGN.md §10).
+//
+// Every frame body is a comm::FrameWriter stream. The round-trip is strictly
+// request/response per worker:
+//
+//   worker -> root   kMsgHello        {version u32}
+//   root -> worker   kMsgWelcome      {version u32, rank u32, workers u32,
+//                                      resolved_spec_json str}
+//   root -> worker   kMsgGroup        {ctx bytes, ntasks u32, tasks...}
+//   worker -> root   kMsgGroupResult  {ntasks u32, compute_s f64,
+//                                      per-task upload bytes...}
+//   root -> worker   kMsgCustom       {op u32, ctx bytes, n u32, clients u64...}
+//   worker -> root   kMsgCustomResult {n u32, per-client result bytes...}
+//   root -> worker   kMsgShutdown     {}
+//   either direction kMsgError        {message str}   then the sender closes
+#pragma once
+
+#include <cstdint>
+
+#include "comm/wire.hpp"
+#include "fed/runtime/engine.hpp"
+
+namespace fp::net {
+
+constexpr std::uint32_t kProtocolVersion = 1;
+
+enum MsgType : std::uint32_t {
+  kMsgHello = 1,
+  kMsgWelcome = 2,
+  kMsgGroup = 3,
+  kMsgGroupResult = 4,
+  kMsgCustom = 5,
+  kMsgCustomResult = 6,
+  kMsgShutdown = 7,
+  kMsgError = 8,
+};
+
+/// TaskSpec serialization: the full dispatch decision including the sampled
+/// device instance, so the worker's DMA / budget planning sees exactly what
+/// the root's scheduler drew.
+void write_task(const fed::TaskSpec& task, comm::FrameWriter& out);
+fed::TaskSpec read_task(comm::FrameReader& in);
+
+}  // namespace fp::net

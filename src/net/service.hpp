@@ -1,0 +1,41 @@
+// Distributed run drivers (DESIGN.md §10): the glue between the experiment
+// layer and the net transport.
+//
+// serve_root builds the full setup, validates the spec against what the
+// distributed runtime supports (sync scheduler, net-capable method), accepts
+// net.workers connections, and drives the normal training loop with the
+// RootServer installed as the environment's RemoteDispatcher — so a
+// distributed run IS a single-process run whose dispatch groups execute
+// elsewhere, and its history hash-matches the single-process one.
+//
+// run_worker connects (with retry, so workers may start first), receives the
+// root's fully-resolved spec, rebuilds the identical setup, and serves
+// dispatch groups until the root says shutdown.
+#pragma once
+
+#include <functional>
+
+#include "exp/runner.hpp"
+#include "net/root.hpp"
+
+namespace fp::net {
+
+/// The spec's net.* keys as a transport config.
+NetConfig net_config_of(const exp::ExperimentSpec& spec);
+
+/// Runs spec.method as the distributed root: listen, handshake net.workers
+/// workers, train with remote dispatch, evaluate locally, shut workers down.
+/// `on_listening` (optional) receives the bound port before the blocking
+/// accept — tests use it to launch loopback workers against an ephemeral
+/// port. Throws exp::SpecError on an unsupported spec (async scheduler, or a
+/// method without net hooks) and NetError on transport failure.
+exp::RunResult serve_root(exp::ExperimentSpec spec,
+                          const std::function<void(int)>& on_listening = {},
+                          const std::string& label = "");
+
+/// Runs the worker loop against spec.net_host:spec.net_port (everything else
+/// in `spec` is ignored — the root's resolved spec arrives in the welcome).
+/// Returns when the root sends shutdown; throws NetError if the root dies.
+void run_worker(const exp::ExperimentSpec& spec);
+
+}  // namespace fp::net

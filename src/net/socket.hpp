@@ -1,0 +1,95 @@
+// Blocking TCP transport for the distributed runtime (DESIGN.md §10).
+//
+// A connection carries framed messages: a fixed header {magic 'FPN1' u32,
+// type u32, body_len u64} followed by body_len raw bytes (a FrameWriter
+// stream). send_frame loops over short writes, recv_frame loops over partial
+// reads, and both fail loudly (NetError) on EOF, timeout, or a malformed
+// header — a half-delivered frame must never be mistaken for a message.
+//
+// Everything is synchronous: the root talks to workers one group at a time
+// and a worker serves one root, so blocking sockets with poll-bounded reads
+// are the whole story — no event loop, no worker threads in the transport.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fp::net {
+
+struct NetError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One framed message off the wire.
+struct Frame {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// A connected TCP endpoint (root's per-worker handle, or the worker's root
+/// handle). Move-only; the fd closes with the object.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd, std::string peer);
+  ~TcpConn();
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to host:port, retrying with exponential backoff (50ms..2s)
+  /// until `total_s` seconds have elapsed. Lets workers start before the
+  /// root is listening. Throws NetError when the window closes.
+  static TcpConn connect_retry(const std::string& host, int port,
+                               double total_s);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& peer() const { return peer_; }
+
+  /// Writes header + body, looping over short writes. Throws NetError.
+  void send_frame(std::uint32_t type, const std::vector<std::uint8_t>& body);
+
+  /// Reads one frame, looping over partial reads. `timeout_s` bounds the
+  /// WHOLE frame (<= 0 waits forever); EOF, expiry, bad magic, or an
+  /// oversized body throw NetError.
+  Frame recv_frame(double timeout_s);
+
+  void close();
+
+  std::int64_t tx_bytes() const { return tx_bytes_; }
+  std::int64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  void write_all(const void* data, std::size_t n);
+  void read_all(void* data, std::size_t n, double deadline_s);
+
+  int fd_ = -1;
+  std::string peer_;
+  std::int64_t tx_bytes_ = 0;
+  std::int64_t rx_bytes_ = 0;
+};
+
+/// Listening socket. Port 0 binds an ephemeral port (tests); port() reports
+/// the bound one either way.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, int port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int port() const { return port_; }
+
+  /// Accepts one connection; `timeout_s` <= 0 waits forever. Throws NetError
+  /// on expiry or socket failure.
+  TcpConn accept(double timeout_s);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace fp::net

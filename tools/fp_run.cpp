@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "net/service.hpp"
 
 namespace {
 
@@ -39,6 +40,11 @@ int usage(std::FILE* out) {
                "                        synthesizing any tensors, and exit\n"
                "  --list                list registered methods/models/workloads/\n"
                "                        schedulers/codecs and exit\n"
+               "  --serve               run as distributed root (net.role=root):\n"
+               "                        wait for net.workers workers on\n"
+               "                        net.host:net.port, then train over them\n"
+               "  --worker <host:port>  run as distributed worker serving that\n"
+               "                        root (net.role=worker)\n"
                "  --keys                list every spec key with default and doc\n"
                "  --help                this message\n\n"
                "environment:\n"
@@ -50,7 +56,9 @@ int usage(std::FILE* out) {
                "  fp_run method=jFAT fl.scheduler=async async.straggler_cutoff_s=0.5\n"
                "  fp_run method=jFAT comm.codec=int8 comm.model_network=1\n"
                "  fp_run method=jFAT mem.measure=1 mem.enforce_budget=1 \\\n"
-               "         mem.checkpointing=1 mem.budget_frac=0.5\n\n"
+               "         mem.checkpointing=1 mem.budget_frac=0.5\n"
+               "  fp_run --serve method=jFAT net.workers=2   # terminal 1\n"
+               "  fp_run --worker 127.0.0.1:7171             # terminals 2, 3\n\n"
                "run fp_run --keys for the full dotted-key table.\n");
   return out == stdout ? 0 : 2;
 }
@@ -109,6 +117,28 @@ int main(int argc, char** argv) {
     }
     if (arg == "--plan") {
       print_plan = true;
+      continue;
+    }
+    if (arg == "--serve") {
+      overrides.push_back("net.role=root");
+      continue;
+    }
+    if (arg == "--worker") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fp_run: --worker needs a host:port argument\n\n");
+        return usage(stderr);
+      }
+      const std::string endpoint = argv[++i];
+      const auto colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == endpoint.size()) {
+        std::fprintf(stderr, "fp_run: --worker wants host:port, got '%s'\n\n",
+                     endpoint.c_str());
+        return usage(stderr);
+      }
+      overrides.push_back("net.role=worker");
+      overrides.push_back("net.host=" + endpoint.substr(0, colon));
+      overrides.push_back("net.port=" + endpoint.substr(colon + 1));
       continue;
     }
     if (arg == "--config" || arg == "--dump-spec") {
@@ -192,6 +222,34 @@ int main(int argc, char** argv) {
                     static_cast<long long>(src->num_clients() - show));
       return 0;
     }
+    const std::string role = fp::exp::get_key(spec, "net.role");
+    if (role == "worker") {
+      // The run is defined by the root's resolved spec; local keys beyond
+      // net.host/net.port/net.retry_s only matter until the welcome arrives.
+      std::printf("fp_run: worker connecting to %s:%s\n",
+                  fp::exp::get_key(spec, "net.host").c_str(),
+                  fp::exp::get_key(spec, "net.port").c_str());
+      std::fflush(stdout);
+      fp::net::run_worker(spec);
+      std::printf("fp_run: worker finished (root shut down the run)\n");
+      return 0;
+    }
+    if (role == "root") {
+      std::printf("fp_run: serving %s as distributed root on %s:%s "
+                  "(waiting for %s workers)\n",
+                  fp::exp::get_key(spec, "method").c_str(),
+                  fp::exp::get_key(spec, "net.host").c_str(),
+                  fp::exp::get_key(spec, "net.port").c_str(),
+                  fp::exp::get_key(spec, "net.workers").c_str());
+      std::fflush(stdout);
+      fp::exp::Setup summary_setup = fp::exp::build_setup(spec);
+      if (print_spec)
+        std::printf("%s", fp::exp::spec_to_json(summary_setup.spec).c_str());
+      const fp::exp::RunResult result = fp::net::serve_root(std::move(spec));
+      fp::exp::print_run_summary(summary_setup, result);
+      return 0;
+    }
+
     fp::exp::Setup setup = fp::exp::build_setup(std::move(spec));
     if (print_spec) std::printf("%s", fp::exp::spec_to_json(setup.spec).c_str());
 
@@ -206,6 +264,9 @@ int main(int argc, char** argv) {
   } catch (const fp::exp::SpecError& e) {
     std::fprintf(stderr, "fp_run: %s\n", e.what());
     return 2;
+  } catch (const fp::net::NetError& e) {
+    std::fprintf(stderr, "fp_run: network error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fp_run: unexpected error: %s\n", e.what());
     return 1;
