@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace fp::attack {
@@ -55,6 +57,8 @@ LossGradFn model_dlr_lossgrad(models::BuiltModel& model) {
 double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
                       std::int64_t batch_size, std::int64_t max_samples,
                       const compute::ComputeConfig& compute) {
+  obs::PhaseTimer eval_phase(obs::Phase::kEval);
+  FP_TRACE_SCOPE("evaluate_clean", "eval");
   const std::int64_t n = eval_count(test, max_samples);
   std::int64_t correct = 0;
   for (std::int64_t start = 0; start < n; start += batch_size) {
@@ -67,6 +71,8 @@ double evaluate_clean(models::BuiltModel& model, const data::Dataset& test,
 
 double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,
                     const RobustEvalConfig& cfg) {
+  obs::PhaseTimer eval_phase(obs::Phase::kEval);
+  FP_TRACE_SCOPE("evaluate_pgd", "eval");
   Rng rng(cfg.seed);
   const std::int64_t n = eval_count(test, cfg.max_samples);
   PgdConfig pgd_cfg;
@@ -87,6 +93,8 @@ double evaluate_pgd(models::BuiltModel& model, const data::Dataset& test,
 RobustEvalResult evaluate_robustness(models::BuiltModel& model,
                                      const data::Dataset& test,
                                      const RobustEvalConfig& cfg) {
+  obs::PhaseTimer eval_phase(obs::Phase::kEval);
+  FP_TRACE_SCOPE("evaluate_robustness", "eval");
   RobustEvalResult result;
   result.clean_acc =
       evaluate_clean(model, test, cfg.batch_size, cfg.max_samples, cfg.compute);

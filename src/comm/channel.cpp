@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fp::comm {
 
 Channel::Channel(const CommConfig& cfg)
@@ -14,6 +17,9 @@ std::int64_t Channel::dense_wire_bytes(const nn::ParamBlob& blob) {
 
 nn::ParamBlob Channel::downlink(nn::ParamBlob blob,
                                 std::int64_t* wire_bytes) const {
+  obs::PhaseTimer encode_phase(obs::Phase::kEncode);
+  FP_TRACE_SCOPE_ARG("downlink", "comm", "floats",
+                     static_cast<std::int64_t>(blob.size()));
   const bool dense = !cfg_.compress_downlink ||
                      codec_->kind() == CodecKind::kIdentity ||
                      codec_->kind() == CodecKind::kTopK;
@@ -30,6 +36,9 @@ nn::ParamBlob Channel::downlink(nn::ParamBlob blob,
 
 nn::ParamBlob Channel::uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
                               std::int64_t* wire_bytes) const {
+  obs::PhaseTimer encode_phase(obs::Phase::kEncode);
+  FP_TRACE_SCOPE_ARG("uplink", "comm", "floats",
+                     static_cast<std::int64_t>(blob.size()));
   if (codec_->kind() == CodecKind::kIdentity) {
     if (wire_bytes) *wire_bytes += dense_wire_bytes(blob);
     return blob;  // bit-identical fast path keeps golden hashes exact
@@ -40,6 +49,8 @@ nn::ParamBlob Channel::uplink(nn::ParamBlob blob, const nn::ParamBlob* ref,
 }
 
 WireMessage Channel::encode_down(const nn::ParamBlob& blob) const {
+  obs::PhaseTimer encode_phase(obs::Phase::kEncode);
+  FP_TRACE_SCOPE("encode_down", "comm");
   const bool dense = !cfg_.compress_downlink ||
                      codec_->kind() == CodecKind::kIdentity ||
                      codec_->kind() == CodecKind::kTopK;
@@ -49,6 +60,8 @@ WireMessage Channel::encode_down(const nn::ParamBlob& blob) const {
 
 WireMessage Channel::encode_up(const nn::ParamBlob& blob,
                                const nn::ParamBlob* ref) const {
+  obs::PhaseTimer encode_phase(obs::Phase::kEncode);
+  FP_TRACE_SCOPE("encode_up", "comm");
   if (codec_->kind() == CodecKind::kIdentity)
     return IdentityCodec().encode(blob);
   return codec_->encode(blob, ref);
@@ -56,6 +69,8 @@ WireMessage Channel::encode_up(const nn::ParamBlob& blob,
 
 nn::ParamBlob Channel::decode(const WireMessage& msg,
                               const nn::ParamBlob* ref) const {
+  obs::PhaseTimer encode_phase(obs::Phase::kEncode);
+  FP_TRACE_SCOPE("decode", "comm");
   switch (msg.kind) {
     case CodecKind::kIdentity:
       return IdentityCodec().decode(msg);

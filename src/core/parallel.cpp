@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace fp::core {
 
 namespace {
@@ -21,7 +23,11 @@ class ThreadPool {
     const int extra = std::max(0, threads - 1);  // the caller is thread 0
     workers_.reserve(static_cast<std::size_t>(extra));
     for (int i = 0; i < extra; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        const std::string name = "fp-pool-" + std::to_string(i + 1);
+        obs::set_thread_name(name.c_str());
+        worker_loop();
+      });
   }
 
   ~ThreadPool() {

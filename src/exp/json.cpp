@@ -10,7 +10,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : s_(text) {}
+  explicit Parser(const std::string& text, bool allow_arrays = false)
+      : s_(text), allow_arrays_(allow_arrays) {}
 
   FlatJson parse() {
     FlatJson out;
@@ -88,11 +89,35 @@ class Parser {
     if (c == '{') {
       object(key + ".", out);
     } else if (c == '[') {
-      fail("arrays are not supported in spec files (key '" + key + "')");
+      if (!allow_arrays_)
+        fail("arrays are not supported in spec files (key '" + key + "')");
+      array(key, out);
     } else if (c == '"') {
       out.emplace_back(key, string_literal());
     } else {
       out.emplace_back(key, scalar_literal());
+    }
+  }
+
+  /// Flattens [a, b, ...] as key.0, key.1, ... (relaxed mode only).
+  void array(const std::string& key, FlatJson& out) {
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++i_;
+      return;
+    }
+    for (std::size_t idx = 0;; ++idx) {
+      value(key + "." + std::to_string(idx), out);
+      skip_ws();
+      if (peek() == ',') {
+        ++i_;
+        skip_ws();
+        continue;
+      }
+      expect(']');
+      return;
     }
   }
 
@@ -121,6 +146,7 @@ class Parser {
   }
 
   const std::string& s_;
+  bool allow_arrays_ = false;
   std::size_t i_ = 0;
 };
 
@@ -128,6 +154,10 @@ class Parser {
 
 FlatJson parse_json_object(const std::string& text) {
   return Parser(text).parse();
+}
+
+FlatJson parse_json_relaxed(const std::string& text) {
+  return Parser(text, /*allow_arrays=*/true).parse();
 }
 
 std::string json_escape(const std::string& s) {

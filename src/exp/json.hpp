@@ -22,6 +22,12 @@ using FlatJson = std::vector<std::pair<std::string, std::string>>;
 /// Throws SpecError with a character offset on malformed input.
 FlatJson parse_json_object(const std::string& text);
 
+/// Like parse_json_object, but arrays are accepted and flattened element by
+/// element as `key.<index>` (an empty array contributes no keys). Spec files
+/// never use this — it exists so tests and tools can inspect emitted
+/// artifacts like Chrome trace JSON with the same parser.
+FlatJson parse_json_relaxed(const std::string& text);
+
 /// Escapes `s` for embedding in a JSON string literal (quotes not included).
 std::string json_escape(const std::string& s);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "baselines/distillation.hpp"
@@ -12,6 +13,8 @@
 #include "fedprophet/fedprophet.hpp"
 #include "mem/planner.hpp"
 #include "models/zoo.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::exp {
 
@@ -301,7 +304,29 @@ RunResult run_on_setup(Setup& setup, const std::string& label) {
   return run_built(setup, run, label);
 }
 
+namespace {
+
+/// FP_BENCH_OUT/<name><suffix> when export is on, <name><suffix> otherwise.
+std::string obs_artifact_path(const std::string& name,
+                              const std::string& suffix) {
+  const std::string base = fed::sanitize_filename(name) + suffix;
+  const char* dir = std::getenv("FP_BENCH_OUT");
+  return (dir && dir[0]) ? std::string(dir) + "/" + base : base;
+}
+
+}  // namespace
+
 RunResult run_built(Setup& setup, MethodRun& run, const std::string& label) {
+  obs::ObsSettings obs_settings;
+  obs_settings.trace = setup.spec.obs_trace;
+  obs_settings.trace_path = setup.spec.obs_trace_path;
+  obs_settings.metrics = setup.spec.obs_metrics;
+  obs_settings.sample_kernels = setup.spec.obs_sample_kernels;
+  obs::configure(obs_settings);
+  obs::set_thread_name("fp-engine");
+  obs::phase_reset();
+  const double wall0 = obs::now_s();
+
   run.train();
 
   RunResult r;
@@ -318,7 +343,40 @@ RunResult run_built(Setup& setup, MethodRun& run, const std::string& label) {
   r.agg_bytes_saved = stats.agg_bytes_saved;
   r.measured_comm_s = stats.measured_comm_s;
   r.exported_csv = export_run_artifacts(setup.spec, r.name, r.history);
-  r.metrics = run.evaluate(eval_config(setup.spec));
+  {
+    // Outermost eval bracket: method-specific evaluation glue (dual-BN bank
+    // switching, cascade assembly) counts too; the attack entry points'
+    // nested timers are depth-guarded and don't double-count.
+    obs::PhaseTimer eval_phase(obs::Phase::kEval);
+    FP_TRACE_SCOPE("evaluate", "engine");
+    r.metrics = run.evaluate(eval_config(setup.spec));
+  }
+  r.wall_s = obs::now_s() - wall0;
+  r.phases = obs::phase_snapshot();
+
+  if (obs_settings.trace) {
+    std::string path = obs_settings.trace_path;
+    if (path.empty()) path = obs_artifact_path(r.name, ".trace.json");
+    if (obs::write_trace_json(path))
+      r.trace_path = path;
+    else
+      obs::logf(obs::LogLevel::kInfo, "warning: failed to write trace %s",
+                path.c_str());
+  }
+  if (obs_settings.metrics) {
+    std::string path;
+    if (!r.exported_csv.empty()) {
+      path = r.exported_csv;
+      path.replace(path.size() - 4, 4, ".metrics.json");
+    } else {
+      path = obs_artifact_path(r.name, ".metrics.json");
+    }
+    if (obs::write_metrics_json(path))
+      r.metrics_path = path;
+    else
+      obs::logf(obs::LogLevel::kInfo, "warning: failed to write metrics %s",
+                path.c_str());
+  }
   return r;
 }
 
@@ -341,8 +399,9 @@ std::string export_run_artifacts(const ExperimentSpec& spec,
   out << spec_to_json(spec);
   out.flush();
   if (!out)
-    std::fprintf(stderr, "warning: failed to write reproduction spec %s\n",
-                 spec_path.c_str());
+    obs::logf(obs::LogLevel::kInfo,
+              "warning: failed to write reproduction spec %s",
+              spec_path.c_str());
   return csv;
 }
 
@@ -381,6 +440,15 @@ void print_net_line(const RunResult& r) {
       r.sim_time.comm_s);
 }
 
+void print_obs_line(const RunResult& r) {
+  const obs::PhaseBreakdown& p = r.phases;
+  std::printf(
+      "    [obs]  %-12s wall %.3g s  sample %.3g  train %.3g  "
+      "aggregate %.3g  eval %.3g  (encode %.3g, nested in train)\n",
+      r.name.c_str(), r.wall_s, p.sample_s, p.train_s, p.aggregate_s, p.eval_s,
+      p.encode_s);
+}
+
 void print_run_summary(const Setup& s, const RunResult& r) {
   const WorkloadInfo& wl = workload_registry().resolve(s.spec.workload);
   std::printf("\n-- %s · %s · %s scheduler · %s fleet --\n", r.name.c_str(),
@@ -410,8 +478,14 @@ void print_run_summary(const Setup& s, const RunResult& r) {
   print_comm_line(r, s.spec.fl);
   print_mem_line(r, s);
   print_net_line(r);
+  print_obs_line(r);
   if (!r.exported_csv.empty())
     std::printf("exported: %s (+ .spec.json)\n", r.exported_csv.c_str());
+  if (!r.trace_path.empty())
+    std::printf("trace: %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                r.trace_path.c_str());
+  if (!r.metrics_path.empty())
+    std::printf("metrics: %s\n", r.metrics_path.c_str());
 }
 
 }  // namespace fp::exp

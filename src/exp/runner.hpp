@@ -14,6 +14,7 @@
 #include "attack/evaluate.hpp"
 #include "exp/registries.hpp"
 #include "fed/algorithm.hpp"
+#include "obs/metrics.hpp"
 
 namespace fp::exp {
 
@@ -86,6 +87,13 @@ struct RunResult {
   std::int64_t net_rx_bytes = 0;
   std::size_t net_workers = 0;
   std::string exported_csv;         ///< FP_BENCH_OUT trajectory path ("" = off)
+  /// Observability plane (src/obs/, DESIGN.md §11): real wall-clock of
+  /// train + eval, the per-phase breakdown behind the [obs] summary line,
+  /// and the exported artifact paths ("" = off or write failed).
+  double wall_s = 0.0;
+  obs::PhaseBreakdown phases;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 /// The final-evaluation config addressed by the eval.* keys.
@@ -122,6 +130,9 @@ void print_mem_line(const RunResult& r, const Setup& s);
 /// One [net] measured-vs-modeled transfer line for a distributed-root run
 /// (no-op when r.net_workers == 0).
 void print_net_line(const RunResult& r);
+
+/// One [obs] wall-clock phase-breakdown line for a trained run.
+void print_obs_line(const RunResult& r);
 
 /// fp_run's report: history tail, final metrics, time/comm/mem summaries.
 void print_run_summary(const Setup& s, const RunResult& r);

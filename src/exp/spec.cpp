@@ -458,6 +458,23 @@ std::vector<KeyDef> build_schema() {
   add(field_key("net.retry_s", "worker connect retry window (seconds)",
                 [](ExperimentSpec& s) -> double& { return s.net_retry_s; }));
 
+  // ---- observability (DESIGN.md §11) ----------------------------------------
+  add(field_key("obs.trace",
+                "collect spans and write a Chrome trace JSON (fp_run --trace)",
+                [](ExperimentSpec& s) -> bool& { return s.obs_trace; }));
+  add(string_key(
+      "obs.trace_path",
+      "trace output path (empty = <FP_BENCH_OUT>/<name>.trace.json)",
+      [](ExperimentSpec& s) -> std::string& { return s.obs_trace_path; }));
+  add(field_key("obs.metrics",
+                "export the counter registry as <name>.metrics.json",
+                [](ExperimentSpec& s) -> bool& { return s.obs_metrics; }));
+  add(field_key("obs.sample_kernels",
+                "trace 1 in N kernel entry calls (GEMM/conv/Winograd)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.obs_sample_kernels;
+                }));
+
   // ---- evaluation -----------------------------------------------------------
   add(field_key("eval.pgd_steps", "PGD steps of the final evaluation",
                 [](ExperimentSpec& s) -> int& { return s.eval_pgd_steps; }));

@@ -75,6 +75,12 @@ struct ExperimentSpec {
   double net_timeout_s = 120.0;     ///< root-side per-frame receive timeout
   double net_retry_s = 10.0;        ///< worker connect retry window (seconds)
 
+  // observability (src/obs/, DESIGN.md §11)
+  bool obs_trace = false;        ///< collect spans, write a Chrome trace JSON
+  std::string obs_trace_path;    ///< "" = <FP_BENCH_OUT>/<name>.trace.json
+  bool obs_metrics = false;      ///< export the counter registry JSON
+  std::int64_t obs_sample_kernels = 16;  ///< trace 1 in N kernel entry calls
+
   // evaluation (attack::RobustEvalConfig surface + snapshot cadence)
   int eval_pgd_steps = 10;
   int eval_aa_steps = 12;

@@ -25,6 +25,7 @@ void FederatedAlgorithm::run_round(std::int64_t t) {
   total_stats_.unique_participants = last_stats_.unique_participants;
   total_stats_.agg_bytes_saved += last_stats_.agg_bytes_saved;
   total_stats_.measured_comm_s += last_stats_.measured_comm_s;
+  total_stats_.round_wall_s += last_stats_.round_wall_s;
 }
 
 void FederatedAlgorithm::run(std::int64_t eval_every) {
@@ -58,6 +59,7 @@ RoundRecord FederatedAlgorithm::evaluate_snapshot(std::int64_t round,
   rec.unique_participants = total_stats_.unique_participants;
   rec.agg_bytes_saved = total_stats_.agg_bytes_saved;
   rec.measured_comm_s = total_stats_.measured_comm_s;
+  rec.round_wall_s = total_stats_.round_wall_s;
   return rec;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace fp::fed {
 
 ClientPool::ClientPool(const FedEnv& env, std::uint64_t seed,
@@ -77,14 +79,18 @@ std::shared_ptr<const data::Dataset> ClientPool::shard_of(std::size_t k) {
     // Materialized plan: borrow the resident shard (non-owning alias).
     return {std::shared_ptr<const void>(), &env_->shards[k]};
   }
+  static obs::Counter& hits = obs::counter("scale.shard_cache_hits");
+  static obs::Counter& misses = obs::counter("scale.shard_cache_misses");
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = cache_.find(k);
     if (it != cache_.end()) {
       it->second.tick = ++tick_;
+      hits.add();
       return it->second.ds;
     }
   }
+  misses.add();
   auto ds = std::make_shared<const data::Dataset>(
       env_->lazy->make_shard(static_cast<std::int64_t>(k)));
   std::lock_guard<std::mutex> lk(mu_);

@@ -129,6 +129,11 @@ struct RoundRecord {
   /// (real clock, DESIGN.md §10; 0 in single-process runs) — the column the
   /// modeled comm_s inside sim_time_s is checked against.
   double measured_comm_s = 0.0;
+  /// Cumulative REAL wall-clock seconds spent inside engine rounds (steady
+  /// clock, DESIGN.md §11) — the measured counterpart of the simulated
+  /// sim_time_s. Appended last: run-dependent by nature, never compared
+  /// across runs.
+  double round_wall_s = 0.0;
 };
 
 using History = std::vector<RoundRecord>;

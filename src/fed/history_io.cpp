@@ -35,16 +35,17 @@ bool write_history_csv(const std::string& path, const History& history) {
   std::fprintf(f,
                "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,"
                "peak_mem_bytes,unique_participants,agg_bytes_saved,"
-               "measured_comm_s,extra\n");
+               "measured_comm_s,round_wall_s,extra\n");
   for (const auto& rec : history)
-    std::fprintf(f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%lld,%lld,%.9g,%.9g\n",
-                 static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
-                 rec.sim_time_s, static_cast<long long>(rec.bytes_up),
-                 static_cast<long long>(rec.bytes_down),
-                 static_cast<long long>(rec.peak_mem_bytes),
-                 static_cast<long long>(rec.unique_participants),
-                 static_cast<long long>(rec.agg_bytes_saved),
-                 rec.measured_comm_s, rec.extra);
+    std::fprintf(
+        f, "%lld,%.9g,%.9g,%.9g,%lld,%lld,%lld,%lld,%lld,%.9g,%.9g,%.9g\n",
+        static_cast<long long>(rec.round), rec.clean_acc, rec.adv_acc,
+        rec.sim_time_s, static_cast<long long>(rec.bytes_up),
+        static_cast<long long>(rec.bytes_down),
+        static_cast<long long>(rec.peak_mem_bytes),
+        static_cast<long long>(rec.unique_participants),
+        static_cast<long long>(rec.agg_bytes_saved), rec.measured_comm_s,
+        rec.round_wall_s, rec.extra);
   return std::fclose(f) == 0;
 }
 
@@ -62,7 +63,7 @@ bool write_history_json(const std::string& path, const std::string& method,
                  "\"bytes_up\": %lld, \"bytes_down\": %lld, "
                  "\"peak_mem_bytes\": %lld, \"unique_participants\": %lld, "
                  "\"agg_bytes_saved\": %lld, \"measured_comm_s\": %.9g, "
-                 "\"extra\": %.9g}",
+                 "\"round_wall_s\": %.9g, \"extra\": %.9g}",
                  i ? "," : "", static_cast<long long>(rec.round), rec.clean_acc,
                  rec.adv_acc, rec.sim_time_s,
                  static_cast<long long>(rec.bytes_up),
@@ -70,7 +71,7 @@ bool write_history_json(const std::string& path, const std::string& method,
                  static_cast<long long>(rec.peak_mem_bytes),
                  static_cast<long long>(rec.unique_participants),
                  static_cast<long long>(rec.agg_bytes_saved),
-                 rec.measured_comm_s, rec.extra);
+                 rec.measured_comm_s, rec.round_wall_s, rec.extra);
   }
   std::fprintf(f, "\n]}\n");
   return std::fclose(f) == 0;

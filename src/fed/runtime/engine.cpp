@@ -4,6 +4,8 @@
 
 #include "fed/runtime/scheduler.hpp"
 #include "mem/arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::fed {
 
@@ -89,7 +91,13 @@ RoundEngine::RoundEngine(FedEnv& env, const FlConfig& cfg)
 RoundEngine::~RoundEngine() = default;
 
 RoundStats RoundEngine::run_round(RoundMethod& m, std::int64_t t) {
-  return scheduler_->run_round(*this, m, t);
+  FP_TRACE_SCOPE_ARG("round", "engine", "round", t);
+  const double wall0 = obs::now_s();
+  RoundStats st = scheduler_->run_round(*this, m, t);
+  st.round_wall_s = obs::now_s() - wall0;
+  static obs::Counter& rounds = obs::counter("engine.rounds");
+  rounds.add();
+  return st;
 }
 
 std::int64_t RoundEngine::client_budget_bytes(const TaskSpec& task) const {
@@ -102,6 +110,9 @@ std::int64_t RoundEngine::client_budget_bytes(const TaskSpec& task) const {
 }
 
 Upload RoundEngine::run_client(RoundMethod& m, const TaskSpec& task) {
+  FP_TRACE_SCOPE_ARG("client", "engine", "client", task.client);
+  static obs::Counter& trained = obs::counter("engine.clients_trained");
+  trained.add();
   if (!cfg_.mem.active()) return m.train_client(task);
   mem::Budget budget{client_budget_bytes(task)};
   mem::ClientMemScope scope(budget, cfg_.mem.checkpointing);

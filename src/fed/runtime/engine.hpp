@@ -180,6 +180,9 @@ struct RoundStats {
   /// (0 outside a distributed root run) — the real-clock counterpart the
   /// modeled comm_s is checked against (DESIGN.md §10).
   double measured_comm_s = 0.0;
+  /// Real wall-clock seconds this engine round took (steady clock, measured
+  /// by RoundEngine::run_round around the scheduler; DESIGN.md §11).
+  double round_wall_s = 0.0;
 };
 
 class RoundScheduler;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::fed {
 
@@ -12,29 +14,38 @@ namespace fp::fed {
 
 RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
                                     std::int64_t t) {
-  auto tasks = eng.sample_tasks(t, eng.config().clients_per_round);
   RoundStats st;
+  std::vector<TaskSpec> tasks;
+  {
+    obs::PhaseTimer sample_phase(obs::Phase::kSample);
+    FP_TRACE_SCOPE("sample", "engine");
+    tasks = eng.sample_tasks(t, eng.config().clients_per_round);
 
-  // Availability churn: a sampled client may vanish between selection and
-  // dispatch. Decided statelessly from the dedicated churn stream BEFORE any
-  // dispatch, so dropped clients never train, never download, and never
-  // consume a method's slot-order draws; survivors are re-slotted
-  // contiguously. No-op when churn is off (every historical golden).
-  if (eng.churn().enabled()) {
-    std::vector<TaskSpec> alive;
-    alive.reserve(tasks.size());
-    for (auto& task : tasks) {
-      if (eng.churn().drops(task.client, t)) {
-        ++st.dropped_out;
-        continue;
+    // Availability churn: a sampled client may vanish between selection and
+    // dispatch. Decided statelessly from the dedicated churn stream BEFORE any
+    // dispatch, so dropped clients never train, never download, and never
+    // consume a method's slot-order draws; survivors are re-slotted
+    // contiguously. No-op when churn is off (every historical golden).
+    if (eng.churn().enabled()) {
+      std::vector<TaskSpec> alive;
+      alive.reserve(tasks.size());
+      for (auto& task : tasks) {
+        if (eng.churn().drops(task.client, t)) {
+          ++st.dropped_out;
+          continue;
+        }
+        task.slot = alive.size();
+        alive.push_back(task);
       }
-      task.slot = alive.size();
-      alive.push_back(task);
+      tasks = std::move(alive);
     }
-    tasks = std::move(alive);
   }
 
-  m.begin_dispatch(tasks);
+  {
+    obs::PhaseTimer train_phase(obs::Phase::kTrain);
+    FP_TRACE_SCOPE("begin_dispatch", "engine");
+    m.begin_dispatch(tasks);
+  }
 
   const std::size_t n = tasks.size();
   const std::int64_t aggs = eng.config().agg.aggregators;
@@ -65,25 +76,33 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
     const std::size_t end = n * (g + 1) / groups;
     if (begin == end) continue;
     std::vector<Upload> uploads(end - begin);
-    if (eng.remote_active()) {
-      // Distributed root (DESIGN.md §10): the group trains on the connected
-      // workers. The dispatcher returns the same slot-ordered uploads the
-      // local loop would have produced (decoded against this process's own
-      // broadcast references), so everything below — byte accounting, sim
-      // time, apply order — is unchanged and the round is bit-identical.
-      st.measured_comm_s +=
-          eng.remote()->run_group(m, tasks, begin, end, uploads);
-    } else {
-      core::parallel_tasks(static_cast<std::int64_t>(end - begin),
-                           [&](std::int64_t ti) {
-                             const auto i = static_cast<std::size_t>(ti);
-                             uploads[i] = eng.run_client(m, tasks[begin + i]);
-                           });
+    {
+      obs::PhaseTimer train_phase(obs::Phase::kTrain);
+      FP_TRACE_SCOPE_ARG("wave", "engine", "group",
+                         static_cast<std::int64_t>(g));
+      if (eng.remote_active()) {
+        // Distributed root (DESIGN.md §10): the group trains on the connected
+        // workers. The dispatcher returns the same slot-ordered uploads the
+        // local loop would have produced (decoded against this process's own
+        // broadcast references), so everything below — byte accounting, sim
+        // time, apply order — is unchanged and the round is bit-identical.
+        st.measured_comm_s +=
+            eng.remote()->run_group(m, tasks, begin, end, uploads);
+      } else {
+        core::parallel_tasks(static_cast<std::int64_t>(end - begin),
+                             [&](std::int64_t ti) {
+                               const auto i = static_cast<std::size_t>(ti);
+                               uploads[i] = eng.run_client(m, tasks[begin + i]);
+                             });
+      }
     }
 
     // Wave time: the slowest member's download + train + upload (the comm
     // term is zero unless comm.model_network is on, which keeps the pre-comm
     // goldens bit-identical). Priced before apply_update moves the uploads.
+    obs::PhaseTimer agg_phase(obs::Phase::kAggregate);
+    FP_TRACE_SCOPE_ARG("aggregate", "engine", "group",
+                       static_cast<std::int64_t>(g));
     TimeBreakdown wave_slowest;
     double wave_total = -1.0;
     std::int64_t wave_bytes_up = 0;
@@ -121,7 +140,11 @@ RoundStats SyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
       slowest = wave_slowest;
     }
   }
-  m.finalize_round(t);
+  {
+    obs::PhaseTimer agg_phase(obs::Phase::kAggregate);
+    FP_TRACE_SCOPE("finalize", "engine");
+    m.finalize_round(t);
+  }
 
   if (with_devices) st.time = slowest;
   st.unique_participants = eng.participant_count();
@@ -141,31 +164,41 @@ void AsyncScheduler::dispatch(RoundEngine& eng, RoundMethod& m, std::int64_t t,
     throw std::runtime_error(
         "distributed runtime: the async scheduler is not supported "
         "(net.role=root requires fl.scheduler=sync)");
-  auto tasks = eng.sample_tasks(t, count);
+  std::vector<TaskSpec> tasks;
+  std::vector<char> dropped;
+  {
+    obs::PhaseTimer sample_phase(obs::Phase::kSample);
+    FP_TRACE_SCOPE("sample", "engine");
+    tasks = eng.sample_tasks(t, count);
 
-  // Dropout is decided at dispatch from a dedicated stream, in slot order.
-  std::vector<char> dropped(tasks.size(), 0);
-  if (cfg_.dropout_prob > 0.0)
-    for (auto& d : dropped) d = drop_rng_.uniform() < cfg_.dropout_prob;
-  // Availability churn adds its own stateless mid-round dropouts on top
-  // (drop_rng_'s draw sequence above is untouched, so enabling churn never
-  // perturbs the async dropout stream).
-  if (eng.churn().enabled())
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-      if (eng.churn().drops(tasks[i].client, t)) dropped[i] = 1;
+    // Dropout is decided at dispatch from a dedicated stream, in slot order.
+    dropped.assign(tasks.size(), 0);
+    if (cfg_.dropout_prob > 0.0)
+      for (auto& d : dropped) d = drop_rng_.uniform() < cfg_.dropout_prob;
+    // Availability churn adds its own stateless mid-round dropouts on top
+    // (drop_rng_'s draw sequence above is untouched, so enabling churn never
+    // perturbs the async dropout stream).
+    if (eng.churn().enabled())
+      for (std::size_t i = 0; i < tasks.size(); ++i)
+        if (eng.churn().drops(tasks[i].client, t)) dropped[i] = 1;
+  }
 
   // Training runs at dispatch time against the dispatch snapshot, so a
   // client's computation is a pure function of (seed, dispatch order) no
   // matter when its completion event is consumed. Dropped clients train too
   // (their update is lost in transit): the device-latency model still needs
   // their ClientWork to place the loss event on the virtual clock.
-  m.begin_dispatch(tasks);
   std::vector<Upload> uploads(tasks.size());
-  core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
-                       [&](std::int64_t ti) {
-                         const auto i = static_cast<std::size_t>(ti);
-                         uploads[i] = eng.run_client(m, tasks[i]);
-                       });
+  {
+    obs::PhaseTimer train_phase(obs::Phase::kTrain);
+    FP_TRACE_SCOPE_ARG("dispatch", "engine", "count", count);
+    m.begin_dispatch(tasks);
+    core::parallel_tasks(static_cast<std::int64_t>(tasks.size()),
+                         [&](std::int64_t ti) {
+                           const auto i = static_cast<std::size_t>(ti);
+                           uploads[i] = eng.run_client(m, tasks[i]);
+                         });
+  }
 
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Event ev;
@@ -261,9 +294,13 @@ RoundStats AsyncScheduler::run_round(RoundEngine& eng, RoundMethod& m,
 
     const TimeBreakdown duration = ev.duration;
     eng.note_participant(ev.task.client);
-    m.apply_update(ev.task, std::move(ev.up), ApplyMode::kBlend,
-                   static_cast<float>(mix));
-    m.finalize_round(t);
+    {
+      obs::PhaseTimer agg_phase(obs::Phase::kAggregate);
+      FP_TRACE_SCOPE("aggregate", "engine");
+      m.apply_update(ev.task, std::move(ev.up), ApplyMode::kBlend,
+                     static_cast<float>(mix));
+      m.finalize_round(t);
+    }
     st.applied = 1;
     st.mean_staleness = staleness;
     st.unique_participants = eng.participant_count();

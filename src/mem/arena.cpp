@@ -5,6 +5,8 @@
 #include <mutex>
 #include <new>
 
+#include "obs/metrics.hpp"
+
 namespace fp::mem {
 
 namespace {
@@ -178,6 +180,8 @@ ClientMemScope::~ClientMemScope() {
   ThreadCtx* ctx = tls_ctx();
   tls_ctx() = static_cast<ThreadCtx*>(prev_);
   delete ctx;
+  static obs::Counter& peak = obs::counter("mem.arena_peak_bytes");
+  peak.set_max(arena_->peak_bytes());
   arena_->release();
 }
 

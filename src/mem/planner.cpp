@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mem/arena.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::mem {
 
@@ -201,6 +202,8 @@ std::vector<std::pair<std::size_t, std::size_t>> segment_unit_ranges(
 }  // namespace
 
 MemPlan plan_module_memory(const sys::ModelSpec& model, const PlanRequest& req) {
+  FP_TRACE_SCOPE_ARG("plan_module_memory", "mem", "atoms",
+                     static_cast<std::int64_t>(req.atom_end - req.atom_begin));
   if (req.atom_begin >= req.atom_end || req.atom_end > model.atoms.size())
     throw std::invalid_argument("plan_module_memory: bad atom range");
   const bool runtime = req.include_runtime_scratch;

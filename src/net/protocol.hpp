@@ -11,8 +11,16 @@
 //                                      per-task upload bytes...}
 //   root -> worker   kMsgCustom       {op u32, ctx bytes, n u32, clients u64...}
 //   worker -> root   kMsgCustomResult {n u32, per-client result bytes...}
+//   worker -> root   kMsgTrace        {obs::serialize_new_events stream}
 //   root -> worker   kMsgShutdown     {}
 //   either direction kMsgError        {message str}   then the sender closes
+//
+// kMsgTrace piggybacks on the group round-trip: when the resolved spec has
+// obs.trace on, a worker ships its fresh span events right after every
+// kMsgGroupResult and the root merges them into its own trace with a
+// per-worker process lane (DESIGN.md §11). Both ends decide whether the
+// extra frame exists from the SAME resolved spec (the root ships it in
+// kMsgWelcome), so framing never desynchronizes.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +30,7 @@
 
 namespace fp::net {
 
-constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::uint32_t kProtocolVersion = 2;
 
 enum MsgType : std::uint32_t {
   kMsgHello = 1,
@@ -33,6 +41,7 @@ enum MsgType : std::uint32_t {
   kMsgCustomResult = 6,
   kMsgShutdown = 7,
   kMsgError = 8,
+  kMsgTrace = 9,
 };
 
 /// TaskSpec serialization: the full dispatch decision including the sampled

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "net/protocol.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::net {
 
@@ -133,6 +134,20 @@ double RootServer::run_group(fed::RoundMethod& m,
 
   const double measured = std::max(0.0, (now_s() - t0) - max_compute_s);
   measured_s_ += measured;
+
+  // Trace piggyback (DESIGN.md §11): each dispatched worker ships its fresh
+  // span events right after its group result; merge them under a per-worker
+  // process lane. Received AFTER the transfer-time measurement above so the
+  // trace plane never pollutes measured_comm_s.
+  if (obs::tracing_enabled()) {
+    for (std::size_t w = 0; w < W; ++w) {
+      if (owned[w].empty()) continue;
+      const Frame tf = recv_checked(w, kMsgTrace);
+      comm::FrameReader in(tf.body);
+      obs::ingest_remote_events(in, static_cast<std::uint32_t>(w + 1),
+                                "worker " + std::to_string(w));
+    }
+  }
   return measured;
 }
 

@@ -6,6 +6,8 @@
 
 #include "core/parallel.hpp"
 #include "net/protocol.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace fp::net {
 
@@ -120,45 +122,64 @@ void run_worker(const exp::ExperimentSpec& cli_spec) {
   // net.codec=auto ships the comm codec's encoded messages; identity ships
   // dense fp32 blobs. Both decode to the same values root-side.
   m.net_set_worker_mode(setup.spec.net_codec != "identity");
-  std::fprintf(stderr, "[net] worker %u/%u serving %s for %s:%d\n", rank,
-               num_workers, setup.spec.method.c_str(), cfg.host.c_str(),
-               cfg.port);
+
+  // Observability follows the root's resolved spec, so both ends agree on
+  // whether kMsgTrace frames exist. A worker never writes its own trace
+  // file: its spans ship to the root and land in the merged trace.
+  obs::ObsSettings obs_settings;
+  obs_settings.trace = setup.spec.obs_trace;
+  obs_settings.sample_kernels = setup.spec.obs_sample_kernels;
+  obs::configure(obs_settings);
+  obs::set_thread_name("fp-net-worker");
+  obs::logf(obs::LogLevel::kInfo, "[net] worker %u/%u serving %s for %s:%d",
+            rank, num_workers, setup.spec.method.c_str(), cfg.host.c_str(),
+            cfg.port);
 
   for (;;) {
     const Frame f = conn.recv_frame(0.0);
     if (f.type == kMsgShutdown) return;
     try {
       if (f.type == kMsgGroup) {
-        comm::FrameReader gin(f.body);
-        const std::vector<std::uint8_t> ctx = gin.bytes();
         {
-          comm::FrameReader cr(ctx);
-          m.net_load_context(cr);
+          // Inner scope: the serve_group span closes BEFORE the trace drain
+          // below, so each group's frame carries its own serving span.
+          FP_TRACE_SCOPE("serve_group", "net");
+          comm::FrameReader gin(f.body);
+          const std::vector<std::uint8_t> ctx = gin.bytes();
+          {
+            comm::FrameReader cr(ctx);
+            m.net_load_context(cr);
+          }
+          const std::uint32_t n = gin.u32();
+          std::vector<fed::TaskSpec> tasks;
+          tasks.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i) tasks.push_back(read_task(gin));
+          m.net_begin_group(tasks);
+          std::vector<fed::Upload> uploads(n);
+          const double t0 = now_s();
+          core::parallel_tasks(static_cast<std::int64_t>(n),
+                               [&](std::int64_t i) {
+                                 uploads[static_cast<std::size_t>(i)] =
+                                     run.algo->engine().run_client(
+                                         m, tasks[static_cast<std::size_t>(i)]);
+                               });
+          const double compute_s = now_s() - t0;
+          m.net_end_group();
+          comm::FrameWriter out;
+          out.u32(n);
+          out.f64(compute_s);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            comm::FrameWriter uw;
+            m.net_encode_upload(uploads[i], uw);
+            out.bytes(uw.data());
+          }
+          conn.send_frame(kMsgGroupResult, out.take());
         }
-        const std::uint32_t n = gin.u32();
-        std::vector<fed::TaskSpec> tasks;
-        tasks.reserve(n);
-        for (std::uint32_t i = 0; i < n; ++i) tasks.push_back(read_task(gin));
-        m.net_begin_group(tasks);
-        std::vector<fed::Upload> uploads(n);
-        const double t0 = now_s();
-        core::parallel_tasks(static_cast<std::int64_t>(n),
-                             [&](std::int64_t i) {
-                               uploads[static_cast<std::size_t>(i)] =
-                                   run.algo->engine().run_client(
-                                       m, tasks[static_cast<std::size_t>(i)]);
-                             });
-        const double compute_s = now_s() - t0;
-        m.net_end_group();
-        comm::FrameWriter out;
-        out.u32(n);
-        out.f64(compute_s);
-        for (std::uint32_t i = 0; i < n; ++i) {
-          comm::FrameWriter uw;
-          m.net_encode_upload(uploads[i], uw);
-          out.bytes(uw.data());
+        if (obs::tracing_enabled()) {
+          comm::FrameWriter tw;
+          obs::serialize_new_events(tw);
+          conn.send_frame(kMsgTrace, tw.take());
         }
-        conn.send_frame(kMsgGroupResult, out.take());
       } else if (f.type == kMsgCustom) {
         comm::FrameReader cin(f.body);
         const std::uint32_t op = cin.u32();

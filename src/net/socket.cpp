@@ -14,6 +14,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace fp::net {
 
 namespace {
@@ -127,6 +129,8 @@ void TcpConn::write_all(const void* data, std::size_t n) {
     sent += static_cast<std::size_t>(r);
   }
   tx_bytes_ += static_cast<std::int64_t>(n);
+  static obs::Counter& tx = obs::counter("net.tx_bytes");
+  tx.add(static_cast<std::int64_t>(n));
 }
 
 void TcpConn::send_frame(std::uint32_t type,
@@ -164,6 +168,8 @@ void TcpConn::read_all(void* data, std::size_t n, double deadline_s) {
     got += static_cast<std::size_t>(r);
   }
   rx_bytes_ += static_cast<std::int64_t>(n);
+  static obs::Counter& rx = obs::counter("net.rx_bytes");
+  rx.add(static_cast<std::int64_t>(n));
 }
 
 Frame TcpConn::recv_frame(double timeout_s) {

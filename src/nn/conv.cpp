@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "obs/trace.hpp"
 #include "tensor/compute_mode.hpp"
 
 namespace fp::nn {
@@ -46,6 +47,7 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  FP_TRACE_KERNEL("conv2d_fwd", "batch", x.ndim() == 4 ? x.dim(0) : 0);
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: bad input " + x.shape_str());
   if (compute::int8_active() || compute::winograd_active())
@@ -82,6 +84,7 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Conv2d::forward_inference(const Tensor& x) {
+  FP_TRACE_KERNEL("conv2d_infer", "batch", x.dim(0));
   // Inference-only kernels never support a backward: drop the cached input so
   // a stray backward() fails loudly instead of differentiating stale state.
   cached_input_ = Tensor();
@@ -162,6 +165,7 @@ Tensor Conv2d::forward_inference(const Tensor& x) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  FP_TRACE_KERNEL("conv2d_bwd", "batch", grad_out.dim(0));
   const Tensor& x = cached_input_;
   if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -250,6 +252,9 @@ void run_block(const float* packed_a, std::int64_t mb, const float* packed_b,
 void gemm(bool transpose_a, bool transpose_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, const float* b, float beta,
           float* c) {
+  FP_TRACE_KERNEL("gemm", "mnk", m * n * k);
+  static obs::Counter& calls = obs::counter("kernel.gemm_calls");
+  calls.add();
   if (m <= 0 || n <= 0) return;
   if (beta == 0.0f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));

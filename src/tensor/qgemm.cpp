@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
@@ -354,6 +356,9 @@ void quantize_cols_int8(const float* src, std::int64_t k, std::int64_t n,
 
 void qgemm_nt(std::int64_t m, std::int64_t n, const QuantizedMat& a,
               const QuantizedMat& b, float* c, std::int64_t ldc) {
+  FP_TRACE_KERNEL("qgemm_nt", "mnk", m * n * a.k_padded);
+  static obs::Counter& calls = obs::counter("kernel.qgemm_calls");
+  calls.add();
   if (m <= 0 || n <= 0) return;
   if (a.k_padded == 0 || b.k_padded == 0) {
     // k <= 0: the blocked gemm's contract at beta=0 — clear and return.
@@ -442,8 +447,8 @@ std::uint64_t content_hash_fnv1a(const void* data, std::size_t bytes) {
 
 double qgemm_error_bound(const QuantizedMat& a, std::int64_t i,
                          const QuantizedMat& b, std::int64_t j,
-                         const float* a_row, std::int64_t a_ld,
-                         const float* b_row, std::int64_t b_ld) {
+                         const float* a_row, std::int64_t a_stride,
+                         const float* b_row, std::int64_t b_stride) {
   // The int32 dot is exact, so the only error is the rounding of each
   // operand to its row grid: (x+ex)(y+ey) - xy = x*ey + y*ex + ex*ey with
   // |ex| <= step_x/2. Summed over all elements of the row pair.
@@ -451,8 +456,8 @@ double qgemm_error_bound(const QuantizedMat& a, std::int64_t i,
   const double eb = static_cast<double>(quant::error_bound(b.scale(j)));
   double bound = 0.0;
   for (std::int64_t t = 0; t < a.k; ++t) {
-    const double x = std::fabs(static_cast<double>(a_row[t * a_ld]));
-    const double y = std::fabs(static_cast<double>(b_row[t * b_ld]));
+    const double x = std::fabs(static_cast<double>(a_row[t * a_stride]));
+    const double y = std::fabs(static_cast<double>(b_row[t * b_stride]));
     bound += x * eb + y * ea + ea * eb;
   }
   return bound;

@@ -109,10 +109,12 @@ std::uint64_t content_hash_fnv1a(const void* data, std::size_t bytes);
 /// Upper bound on |qgemm - exact fp32 dot| for one output element, from the
 /// packs' stored per-row steps: the int32 dot is exact, so the element error
 /// is the sum over k of the cross terms of two half-step-bounded roundings.
-/// Used by tests and documented in DESIGN.md §8.
+/// a_stride / b_stride are the strides between consecutive ELEMENTS of the
+/// row (1 for a contiguous row-major row). Used by tests and documented in
+/// DESIGN.md §8.
 double qgemm_error_bound(const QuantizedMat& a, std::int64_t i,
                          const QuantizedMat& b, std::int64_t j,
-                         const float* a_row, std::int64_t a_ld,
-                         const float* b_row, std::int64_t b_ld);
+                         const float* a_row, std::int64_t a_stride,
+                         const float* b_row, std::int64_t b_stride);
 
 }  // namespace fp

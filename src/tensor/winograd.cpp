@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -160,6 +162,9 @@ void winograd_conv_forward(const Conv2dGeometry& g, const float* x,
                            std::int64_t batch, const WinogradPlan& plan,
                            const float* bias, float* out, bool use_int8,
                            float* v, float* m) {
+  FP_TRACE_KERNEL("winograd_conv", "batch", batch);
+  static obs::Counter& calls = obs::counter("kernel.winograd_calls");
+  calls.add();
   const std::int64_t ic = g.in_channels, oc = g.out_channels;
   const std::int64_t h = g.in_h, w = g.in_w;
   const std::int64_t oh = g.out_h(), ow = g.out_w();

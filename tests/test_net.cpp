@@ -349,9 +349,11 @@ void expect_equivalent(const exp::RunResult& local,
     EXPECT_EQ(a.peak_mem_bytes, b.peak_mem_bytes) << "record " << i;
     EXPECT_EQ(a.unique_participants, b.unique_participants) << "record " << i;
     EXPECT_EQ(a.agg_bytes_saved, b.agg_bytes_saved) << "record " << i;
-    // measured_comm_s is the one intentionally-different column: real clock
-    // on the distributed run, 0 single-process.
+    // measured_comm_s and round_wall_s are the intentionally-different
+    // columns: real clocks, never compared across runs.
     EXPECT_GE(b.measured_comm_s, 0.0);
+    EXPECT_GE(a.round_wall_s, 0.0);
+    EXPECT_GE(b.round_wall_s, 0.0);
   }
   EXPECT_EQ(dist.net_workers, 2u);
   EXPECT_GT(dist.net_tx_bytes, 0);

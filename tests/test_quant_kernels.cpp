@@ -61,8 +61,10 @@ TEST(QGemm, WithinAnalyticErrorBound) {
     const auto ref = reference_nt(a, b);
     for (std::int64_t i = 0; i < gc.m; ++i)
       for (std::int64_t j = 0; j < gc.n; ++j) {
+        // Contiguous row-major rows: element stride 1 (passing the leading
+        // dimension here walked a strided COLUMN off the end of the tensor).
         const double bound = qgemm_error_bound(qa, i, qb, j, a.data() + i * gc.k,
-                                               gc.k, b.data() + j * gc.k, gc.k);
+                                               1, b.data() + j * gc.k, 1);
         // Small fp32-accumulation slack on top of the quantization bound.
         const double got = c[static_cast<std::size_t>(i * gc.n + j)];
         const double want = ref[static_cast<std::size_t>(i * gc.n + j)];

@@ -318,8 +318,9 @@ TEST(RoundEngine, PersistentDeviceBindingKeepsClientOnItsDevice) {
 
 TEST(HistoryIo, CsvRoundTripsRecords) {
   fed::History h;
-  h.push_back({5, 0.5, 0.25, 12.5, 0.01, 1024, 4096, 777, 32, 256, 0.75});
-  h.push_back({10, 0.625, 0.375, 30.0, 0.02, 2048, 8192, 888, 48, 512, 1.5});
+  h.push_back({5, 0.5, 0.25, 12.5, 0.01, 1024, 4096, 777, 32, 256, 0.75, 2.25});
+  h.push_back(
+      {10, 0.625, 0.375, 30.0, 0.02, 2048, 8192, 888, 48, 512, 1.5, 4.5});
   const auto dir = std::filesystem::temp_directory_path() / "fp_history_io";
   const auto path = (dir / "m.csv").string();
   ASSERT_TRUE(fed::write_history_csv(path, h));
@@ -329,7 +330,7 @@ TEST(HistoryIo, CsvRoundTripsRecords) {
   EXPECT_EQ(line,
             "round,clean_acc,adv_acc,sim_time_s,bytes_up,bytes_down,"
             "peak_mem_bytes,unique_participants,agg_bytes_saved,"
-            "measured_comm_s,extra");
+            "measured_comm_s,round_wall_s,extra");
   int rows = 0;
   std::string first_row;
   while (std::getline(in, line))
@@ -338,7 +339,8 @@ TEST(HistoryIo, CsvRoundTripsRecords) {
       ++rows;
     }
   EXPECT_EQ(rows, 2);
-  EXPECT_NE(first_row.find(",1024,4096,777,32,256,0.75,"), std::string::npos)
+  EXPECT_NE(first_row.find(",1024,4096,777,32,256,0.75,2.25,"),
+            std::string::npos)
       << "per-round byte + peak-mem + scale counts missing from CSV row: "
       << first_row;
 
@@ -354,6 +356,7 @@ TEST(HistoryIo, CsvRoundTripsRecords) {
   EXPECT_NE(json.find("\"unique_participants\": 48"), std::string::npos);
   EXPECT_NE(json.find("\"agg_bytes_saved\": 512"), std::string::npos);
   EXPECT_NE(json.find("\"measured_comm_s\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"round_wall_s\": 4.5"), std::string::npos);
   EXPECT_EQ(fed::sanitize_filename("jFAT (fast/42)"), "jFAT__fast_42_");
   std::filesystem::remove_all(dir);
 }

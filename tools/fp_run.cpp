@@ -22,6 +22,7 @@
 
 #include "exp/runner.hpp"
 #include "net/service.hpp"
+#include "obs/log.hpp"
 
 namespace {
 
@@ -45,6 +46,11 @@ int usage(std::FILE* out) {
                "                        net.host:net.port, then train over them\n"
                "  --worker <host:port>  run as distributed worker serving that\n"
                "                        root (net.role=worker)\n"
+               "  --trace <out.json>    collect spans and write a Chrome trace\n"
+               "                        (obs.trace=1 obs.trace_path=<out.json>;\n"
+               "                        load in chrome://tracing / Perfetto)\n"
+               "  --log-level <level>   stderr verbosity: quiet, info (default),\n"
+               "                        or debug (monotonic-timestamped lines)\n"
                "  --keys                list every spec key with default and doc\n"
                "  --help                this message\n\n"
                "environment:\n"
@@ -141,6 +147,30 @@ int main(int argc, char** argv) {
       overrides.push_back("net.port=" + endpoint.substr(colon + 1));
       continue;
     }
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fp_run: --trace needs an output path\n\n");
+        return usage(stderr);
+      }
+      overrides.push_back("obs.trace=1");
+      overrides.push_back(std::string("obs.trace_path=") + argv[++i]);
+      continue;
+    }
+    if (arg == "--log-level") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fp_run: --log-level needs a level\n\n");
+        return usage(stderr);
+      }
+      fp::obs::LogLevel level;
+      if (!fp::obs::parse_log_level(argv[++i], &level)) {
+        std::fprintf(stderr,
+                     "fp_run: unknown log level '%s' (quiet, info, debug)\n\n",
+                     argv[i]);
+        return usage(stderr);
+      }
+      fp::obs::set_log_level(level);
+      continue;
+    }
     if (arg == "--config" || arg == "--dump-spec") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "fp_run: %s needs a path argument\n\n", arg.c_str());
@@ -226,22 +256,23 @@ int main(int argc, char** argv) {
     if (role == "worker") {
       // The run is defined by the root's resolved spec; local keys beyond
       // net.host/net.port/net.retry_s only matter until the welcome arrives.
-      std::printf("fp_run: worker connecting to %s:%s\n",
-                  fp::exp::get_key(spec, "net.host").c_str(),
-                  fp::exp::get_key(spec, "net.port").c_str());
-      std::fflush(stdout);
+      fp::obs::logf(fp::obs::LogLevel::kInfo,
+                    "fp_run: worker connecting to %s:%s",
+                    fp::exp::get_key(spec, "net.host").c_str(),
+                    fp::exp::get_key(spec, "net.port").c_str());
       fp::net::run_worker(spec);
-      std::printf("fp_run: worker finished (root shut down the run)\n");
+      fp::obs::logf(fp::obs::LogLevel::kInfo,
+                    "fp_run: worker finished (root shut down the run)");
       return 0;
     }
     if (role == "root") {
-      std::printf("fp_run: serving %s as distributed root on %s:%s "
-                  "(waiting for %s workers)\n",
-                  fp::exp::get_key(spec, "method").c_str(),
-                  fp::exp::get_key(spec, "net.host").c_str(),
-                  fp::exp::get_key(spec, "net.port").c_str(),
-                  fp::exp::get_key(spec, "net.workers").c_str());
-      std::fflush(stdout);
+      fp::obs::logf(fp::obs::LogLevel::kInfo,
+                    "fp_run: serving %s as distributed root on %s:%s "
+                    "(waiting for %s workers)",
+                    fp::exp::get_key(spec, "method").c_str(),
+                    fp::exp::get_key(spec, "net.host").c_str(),
+                    fp::exp::get_key(spec, "net.port").c_str(),
+                    fp::exp::get_key(spec, "net.workers").c_str());
       fp::exp::Setup summary_setup = fp::exp::build_setup(spec);
       if (print_spec)
         std::printf("%s", fp::exp::spec_to_json(summary_setup.spec).c_str());
@@ -253,11 +284,11 @@ int main(int argc, char** argv) {
     fp::exp::Setup setup = fp::exp::build_setup(std::move(spec));
     if (print_spec) std::printf("%s", fp::exp::spec_to_json(setup.spec).c_str());
 
-    std::printf("fp_run: %s on %s (%lld clients, %lld rounds)\n",
-                setup.spec.method.c_str(), setup.spec.workload.c_str(),
-                static_cast<long long>(setup.spec.fl.num_clients),
-                static_cast<long long>(setup.spec.fl.rounds));
-    std::fflush(stdout);
+    fp::obs::logf(fp::obs::LogLevel::kInfo,
+                  "fp_run: %s on %s (%lld clients, %lld rounds)",
+                  setup.spec.method.c_str(), setup.spec.workload.c_str(),
+                  static_cast<long long>(setup.spec.fl.num_clients),
+                  static_cast<long long>(setup.spec.fl.rounds));
     const fp::exp::RunResult result = fp::exp::run_on_setup(setup);
     fp::exp::print_run_summary(setup, result);
     return 0;
