@@ -86,6 +86,9 @@ MethodRun make_fedrbn(Setup& s) {
   cfg.model_spec = s.model;
   cfg.device_mem_scale = s.device_mem_scale;
   MethodRun run;
+  // Which BN bank to serve is an evaluation-time choice, not part of the
+  // checkpoint — FedRBN has no single deployable global model.
+  run.single_global_model = false;
   auto algo = std::make_unique<baselines::FedRbn>(s.env, cfg);
   run.train = [a = algo.get(), ev = s.spec.eval_every] { a->run(ev); };
   // Dual-BN evaluation: clean bank for clean accuracy, adversarial bank for

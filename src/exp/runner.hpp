@@ -59,6 +59,11 @@ struct MethodRun {
   std::function<void()> train;
   std::function<attack::RobustEvalResult(const attack::RobustEvalConfig&)>
       evaluate;
+  /// Whether algo->global_model() alone is the deployable artifact. FedRBN
+  /// sets this false: its dual-BN banks make a bank choice part of the
+  /// model, so `fp_run --save-model` refuses rather than exporting an
+  /// ambiguous checkpoint.
+  bool single_global_model = true;
 };
 
 using MethodFactory = std::function<MethodRun(Setup&)>;

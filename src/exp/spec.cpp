@@ -458,6 +458,34 @@ std::vector<KeyDef> build_schema() {
   add(field_key("net.retry_s", "worker connect retry window (seconds)",
                 [](ExperimentSpec& s) -> double& { return s.net_retry_s; }));
 
+  // ---- serving plane (DESIGN.md §12) ----------------------------------------
+  add(string_key(
+      "serve.host", "inference server bind address",
+      [](ExperimentSpec& s) -> std::string& { return s.serve_host; }));
+  add(field_key("serve.port", "inference server port (0 = ephemeral, tests)",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.serve_port;
+                }));
+  add(field_key("serve.max_batch",
+                "samples coalesced into one batched inference forward",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.serve_max_batch;
+                }));
+  add(field_key("serve.max_delay_ms",
+                "micro-batch coalescing window after the first waiter",
+                [](ExperimentSpec& s) -> double& {
+                  return s.serve_max_delay_ms;
+                }));
+  add(field_key("serve.queue_cap",
+                "pending-sample bound; requests above it get HTTP 503",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.serve_queue_cap;
+                }));
+  add(field_key("serve.max_conns", "concurrent HTTP connection bound",
+                [](ExperimentSpec& s) -> std::int64_t& {
+                  return s.serve_max_conns;
+                }));
+
   // ---- observability (DESIGN.md §11) ----------------------------------------
   add(field_key("obs.trace",
                 "collect spans and write a Chrome trace JSON (fp_run --trace)",

@@ -75,6 +75,14 @@ struct ExperimentSpec {
   double net_timeout_s = 120.0;     ///< root-side per-frame receive timeout
   double net_retry_s = 10.0;        ///< worker connect retry window (seconds)
 
+  // serving plane (DESIGN.md §12): fp_serve / fp_run --api
+  std::string serve_host = "127.0.0.1";  ///< bind address
+  std::int64_t serve_port = 8080;        ///< bind port (0 = ephemeral, tests)
+  std::int64_t serve_max_batch = 32;     ///< samples per batched forward
+  double serve_max_delay_ms = 2.0;       ///< micro-batch coalescing window
+  std::int64_t serve_queue_cap = 256;    ///< pending-sample bound (503 above)
+  std::int64_t serve_max_conns = 64;     ///< concurrent connection bound
+
   // observability (src/obs/, DESIGN.md §11)
   bool obs_trace = false;        ///< collect spans, write a Chrome trace JSON
   std::string obs_trace_path;    ///< "" = <FP_BENCH_OUT>/<name>.trace.json

@@ -187,16 +187,28 @@ nn::ParamBlob BuiltModel::save_all() {
 }
 
 void BuiltModel::load_all(const nn::ParamBlob& blob) {
+  // Size-check the whole blob first so a mismatched checkpoint never leaves
+  // the model half-overwritten.
+  std::vector<std::size_t> sizes(atoms_.size());
+  std::size_t need = 0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    sizes[i] = save_atom(i).size();
+    need += sizes[i];
+  }
+  if (need != blob.size())
+    throw std::invalid_argument(
+        "load_all: blob holds " + std::to_string(blob.size()) +
+        " floats but model '" + spec_.name + "' (" +
+        std::to_string(atoms_.size()) + " atoms) needs exactly " +
+        std::to_string(need));
   std::size_t offset = 0;
   for (std::size_t i = 0; i < atoms_.size(); ++i) {
-    const std::size_t n = save_atom(i).size();
-    if (offset + n > blob.size()) throw std::invalid_argument("load_all: blob small");
+    const std::size_t n = sizes[i];
     nn::ParamBlob piece(blob.begin() + static_cast<std::ptrdiff_t>(offset),
                         blob.begin() + static_cast<std::ptrdiff_t>(offset + n));
     load_atom(i, piece);
     offset += n;
   }
-  if (offset != blob.size()) throw std::invalid_argument("load_all: size mismatch");
 }
 
 void BuiltModel::use_bn_bank(int bank) {

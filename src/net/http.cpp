@@ -1,0 +1,287 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fp::net {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64u << 10;
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+const std::string* find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+/// Splits the header block (excluding the start line) into (name, value)
+/// pairs. Accepts both \r\n and bare \n line endings.
+void parse_header_lines(std::string_view block,
+                        std::vector<std::pair<std::string, std::string>>* out) {
+  while (!block.empty()) {
+    const std::size_t eol = block.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? block : block.substr(0, eol);
+    block.remove_prefix(eol == std::string_view::npos ? block.size() : eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos)
+      throw HttpError("malformed header line: " + std::string(line));
+    out->emplace_back(std::string(trim(line.substr(0, colon))),
+                      std::string(trim(line.substr(colon + 1))));
+  }
+}
+
+/// Parses a Content-Length value; throws HttpError on garbage or overflow.
+std::size_t parse_content_length(const std::string& v, std::size_t max_body) {
+  std::size_t n = 0;
+  if (v.empty()) throw HttpError("empty Content-Length");
+  for (const char c : v) {
+    if (c < '0' || c > '9')
+      throw HttpError("bad Content-Length: " + v);
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+    if (n > max_body)
+      throw HttpError("body exceeds limit (" + v + " bytes)");
+  }
+  return n;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+const std::string* HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool HttpRequest::keep_alive() const {
+  if (const std::string* c = header("Connection")) {
+    if (iequals(*c, "close")) return false;
+    if (iequals(*c, "keep-alive")) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpConn::HttpConn(TcpConn conn, std::size_t max_body)
+    : conn_(std::move(conn)), max_body_(max_body) {}
+
+bool HttpConn::fill(double timeout_s, bool eof_is_error) {
+  char chunk[16 << 10];
+  const std::ptrdiff_t r = conn_.recv_some(chunk, sizeof(chunk), timeout_s);
+  if (r < 0) return false;  // timeout
+  if (r == 0) {
+    eof_ = true;
+    if (eof_is_error)
+      throw HttpError("connection to " + conn_.peer() +
+                      " closed mid-message");
+    return false;
+  }
+  buf_.append(chunk, static_cast<std::size_t>(r));
+  return true;
+}
+
+std::size_t HttpConn::header_end() const {
+  const std::size_t crlf = buf_.find("\r\n\r\n");
+  const std::size_t lf = buf_.find("\n\n");
+  if (crlf == std::string::npos) return lf;
+  if (lf == std::string::npos) return crlf;
+  return std::min(crlf, lf);
+}
+
+HttpConn::Read HttpConn::read_request(HttpRequest* out, double timeout_s) {
+  // Phase 1: the start line + header block.
+  std::size_t hdr_end;
+  while ((hdr_end = header_end()) == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes)
+      throw HttpError("oversized request header from " + conn_.peer());
+    if (eof_) {
+      if (buf_.empty()) return Read::kClosed;
+      throw HttpError("connection to " + conn_.peer() + " closed mid-message");
+    }
+    // EOF with a partial message buffered is a framing error; between
+    // messages it is a clean close.
+    if (!fill(timeout_s, /*eof_is_error=*/!buf_.empty()))
+      return eof_ && buf_.empty() ? Read::kClosed : Read::kTimeout;
+  }
+  const std::size_t sep = buf_[hdr_end] == '\r' ? 4 : 2;
+  const std::string head = buf_.substr(0, hdr_end);
+  const std::size_t line_end = head.find('\n');
+  std::string_view start_line =
+      line_end == std::string::npos ? std::string_view(head)
+                                    : std::string_view(head).substr(0, line_end);
+  if (!start_line.empty() && start_line.back() == '\r')
+    start_line.remove_suffix(1);
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos)
+    throw HttpError("malformed request line: " + std::string(start_line));
+
+  HttpRequest req;
+  req.method = std::string(start_line.substr(0, sp1));
+  req.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(trim(start_line.substr(sp2 + 1)));
+  if (req.version.rfind("HTTP/", 0) != 0)
+    throw HttpError("unsupported protocol: " + req.version);
+  if (line_end != std::string::npos)
+    parse_header_lines(std::string_view(head).substr(line_end + 1),
+                       &req.headers);
+  if (req.header("Transfer-Encoding") != nullptr)
+    throw HttpError("Transfer-Encoding is not supported (use Content-Length)");
+
+  // Phase 2: the Content-Length body.
+  std::size_t body_len = 0;
+  if (const std::string* cl = req.header("Content-Length"))
+    body_len = parse_content_length(*cl, max_body_);
+  const std::size_t total = hdr_end + sep + body_len;
+  while (buf_.size() < total) {
+    if (eof_)
+      throw HttpError("connection to " + conn_.peer() + " closed mid-body");
+    if (!fill(timeout_s, /*eof_is_error=*/true)) return Read::kTimeout;
+  }
+  req.body = buf_.substr(hdr_end + sep, body_len);
+  buf_.erase(0, total);
+  *out = std::move(req);
+  return Read::kRequest;
+}
+
+void HttpConn::write_response(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string msg;
+  msg.reserve(body.size() + 256);
+  msg += "HTTP/1.1 ";
+  msg += std::to_string(status);
+  msg += ' ';
+  msg += status_reason(status);
+  msg += "\r\nContent-Type: ";
+  msg += content_type;
+  msg += "\r\nContent-Length: ";
+  msg += std::to_string(body.size());
+  msg += "\r\nConnection: ";
+  msg += keep_alive ? "keep-alive" : "close";
+  msg += "\r\n";
+  for (const auto& [k, v] : extra_headers) {
+    msg += k;
+    msg += ": ";
+    msg += v;
+    msg += "\r\n";
+  }
+  msg += "\r\n";
+  msg += body;
+  conn_.send_bytes(msg.data(), msg.size());
+}
+
+void HttpConn::send_request(std::string_view method, std::string_view target,
+                            std::string_view body,
+                            std::string_view content_type) {
+  std::string msg;
+  msg.reserve(body.size() + 256);
+  msg += method;
+  msg += ' ';
+  msg += target;
+  msg += " HTTP/1.1\r\nHost: ";
+  msg += conn_.peer();
+  msg += "\r\n";
+  if (!body.empty()) {
+    msg += "Content-Type: ";
+    msg += content_type;
+    msg += "\r\n";
+  }
+  msg += "Content-Length: ";
+  msg += std::to_string(body.size());
+  msg += "\r\n\r\n";
+  msg += body;
+  conn_.send_bytes(msg.data(), msg.size());
+}
+
+HttpConn::Read HttpConn::read_response(HttpResponse* out, double timeout_s) {
+  std::size_t hdr_end;
+  while ((hdr_end = header_end()) == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes)
+      throw HttpError("oversized response header from " + conn_.peer());
+    if (eof_) {
+      if (buf_.empty()) return Read::kClosed;
+      throw HttpError("connection to " + conn_.peer() + " closed mid-message");
+    }
+    if (!fill(timeout_s, /*eof_is_error=*/!buf_.empty()))
+      return eof_ && buf_.empty() ? Read::kClosed : Read::kTimeout;
+  }
+  const std::size_t sep = buf_[hdr_end] == '\r' ? 4 : 2;
+  const std::string head = buf_.substr(0, hdr_end);
+  const std::size_t line_end = head.find('\n');
+  std::string_view status_line =
+      line_end == std::string::npos ? std::string_view(head)
+                                    : std::string_view(head).substr(0, line_end);
+  if (!status_line.empty() && status_line.back() == '\r')
+    status_line.remove_suffix(1);
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || status_line.rfind("HTTP/", 0) != 0)
+    throw HttpError("malformed status line: " + std::string(status_line));
+
+  HttpResponse resp;
+  resp.status = 0;
+  for (std::size_t i = sp1 + 1;
+       i < status_line.size() && status_line[i] >= '0' && status_line[i] <= '9';
+       ++i)
+    resp.status = resp.status * 10 + (status_line[i] - '0');
+  if (resp.status == 0)
+    throw HttpError("malformed status line: " + std::string(status_line));
+  if (line_end != std::string::npos)
+    parse_header_lines(std::string_view(head).substr(line_end + 1),
+                       &resp.headers);
+
+  std::size_t body_len = 0;
+  if (const std::string* cl = resp.header("Content-Length"))
+    body_len = parse_content_length(*cl, max_body_);
+  const std::size_t total = hdr_end + sep + body_len;
+  while (buf_.size() < total) {
+    if (eof_)
+      throw HttpError("connection to " + conn_.peer() + " closed mid-body");
+    if (!fill(timeout_s, /*eof_is_error=*/true)) return Read::kTimeout;
+  }
+  resp.body = buf_.substr(hdr_end + sep, body_len);
+  buf_.erase(0, total);
+  *out = std::move(resp);
+  return Read::kRequest;
+}
+
+}  // namespace fp::net

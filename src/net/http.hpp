@@ -1,0 +1,103 @@
+// Minimal HTTP/1.1 framing over the blocking TCP transport (DESIGN.md §12).
+//
+// The serving plane speaks plain HTTP/1.1 with Content-Length bodies — the
+// distributed-llama http.cpp shape: one buffered connection object that
+// parses requests off a TcpConn and writes responses back, looping over
+// partial reads and short writes via the socket layer's raw-byte API. No
+// chunked transfer, no TLS, no multiplexing: an inference request is one
+// small JSON body, and blocking sockets with poll-bounded reads are enough
+// for thousands of requests per second on a keep-alive connection.
+//
+// The same class carries the client side (send_request/read_response) so the
+// load generator and the tests drive a real server through the identical
+// framing code the server itself uses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace fp::net {
+
+/// Malformed framing (bad request line, oversized header/body, EOF mid
+/// message). Servers map it to a 400 and close the connection.
+struct HttpError : NetError {
+  using NetError::NetError;
+};
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string target;   ///< request path, e.g. "/v1/predict"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// keep-alive unless "Connection: close" (HTTP/1.0 defaults to close).
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* header(std::string_view name) const;
+};
+
+/// The canonical reason phrase for a status code ("OK", "Not Found", ...).
+const char* status_reason(int status);
+
+/// One buffered HTTP/1.1 connection over a TcpConn. Owns the socket.
+class HttpConn {
+ public:
+  explicit HttpConn(TcpConn conn, std::size_t max_body = 8u << 20);
+
+  TcpConn& conn() { return conn_; }
+
+  enum class Read {
+    kRequest,  ///< a complete request was parsed into *out
+    kClosed,   ///< clean EOF between messages (peer hung up)
+    kTimeout,  ///< nothing new within timeout_s; call again to keep waiting
+  };
+
+  /// Parses the next request. A timeout mid-message keeps the partial bytes
+  /// buffered, so callers may poll with short timeouts and a shutdown flag.
+  /// Throws HttpError on malformed framing, NetError on socket failure.
+  Read read_request(HttpRequest* out, double timeout_s);
+
+  /// Writes a complete response with Content-Length framing. `extra_headers`
+  /// are emitted verbatim after the standard ones.
+  void write_response(
+      int status, std::string_view content_type, std::string_view body,
+      bool keep_alive,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
+
+  // ---- client side ----------------------------------------------------------
+  /// Writes one request (Content-Length framed; empty body for GET).
+  void send_request(std::string_view method, std::string_view target,
+                    std::string_view body = {},
+                    std::string_view content_type = "application/json");
+
+  /// Parses the next response; Read::kClosed when the server hung up first.
+  Read read_response(HttpResponse* out, double timeout_s);
+
+ private:
+  /// Appends more bytes from the socket; returns false on timeout, throws
+  /// HttpError on EOF when `eof_is_error`, returns false on clean EOF
+  /// otherwise (setting eof_).
+  bool fill(double timeout_s, bool eof_is_error);
+  /// Locates the end of the header block in buf_; npos when incomplete.
+  std::size_t header_end() const;
+
+  TcpConn conn_;
+  std::size_t max_body_;
+  std::string buf_;   ///< bytes received but not yet consumed
+  bool eof_ = false;  ///< peer closed its write side
+};
+
+}  // namespace fp::net

@@ -141,6 +141,40 @@ void TcpConn::send_frame(std::uint32_t type,
   if (!body.empty()) write_all(body.data(), body.size());
 }
 
+void TcpConn::send_bytes(const void* data, std::size_t n) {
+  if (fd_ < 0) throw NetError("send on closed connection to " + peer_);
+  if (n > 0) write_all(data, n);
+}
+
+std::ptrdiff_t TcpConn::recv_some(void* buf, std::size_t cap, double timeout_s) {
+  if (fd_ < 0) throw NetError("recv on closed connection to " + peer_);
+  const double deadline = timeout_s > 0.0 ? now_s() + timeout_s : 0.0;
+  for (;;) {
+    if (deadline > 0.0) {
+      const double left = deadline - now_s();
+      if (left <= 0.0) return -1;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(std::min(left * 1000.0, 3.6e6)) + 1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll on " + peer_);
+      }
+      if (ready == 0) continue;  // re-check the deadline
+    }
+    const ssize_t r = ::recv(fd_, buf, cap, 0);
+    if (r == 0) return 0;  // clean EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv from " + peer_);
+    }
+    rx_bytes_ += static_cast<std::int64_t>(r);
+    static obs::Counter& rx = obs::counter("net.rx_bytes");
+    rx.add(static_cast<std::int64_t>(r));
+    return static_cast<std::ptrdiff_t>(r);
+  }
+}
+
 void TcpConn::read_all(void* data, std::size_t n, double deadline_s) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;

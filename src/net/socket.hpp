@@ -57,6 +57,17 @@ class TcpConn {
   /// oversized body throw NetError.
   Frame recv_frame(double timeout_s);
 
+  // ---- raw byte stream (the HTTP layer, net/http.hpp) ----------------------
+  /// Writes `n` unframed bytes, looping over short writes. Throws NetError.
+  void send_bytes(const void* data, std::size_t n);
+
+  /// Reads up to `cap` unframed bytes: > 0 = bytes read, 0 = clean EOF,
+  /// -1 = nothing arrived within `timeout_s` (<= 0 waits forever). Unlike
+  /// recv_frame, a timeout is an ordinary return, not an error — HTTP
+  /// handlers poll with short timeouts so a shutdown flag can interrupt an
+  /// idle keep-alive connection. Throws NetError on socket failure.
+  std::ptrdiff_t recv_some(void* buf, std::size_t cap, double timeout_s);
+
   void close();
 
   std::int64_t tx_bytes() const { return tx_bytes_; }

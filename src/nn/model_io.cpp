@@ -1,6 +1,7 @@
 #include "nn/model_io.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -20,6 +21,17 @@ std::uint64_t fnv1a(const float* data, std::size_t count) {
   }
   return h;
 }
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// 4 magic + 4 version + 8 count header, 8 checksum trailer.
+constexpr std::uint64_t kHeaderBytes = 16;
+constexpr std::uint64_t kTrailerBytes = 8;
 }  // namespace
 
 void save_checkpoint(const std::string& path, const ParamBlob& blob) {
@@ -47,18 +59,40 @@ ParamBlob load_checkpoint(const std::string& path) {
   std::uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!in || version != kVersion)
-    throw std::runtime_error("load_checkpoint: unsupported version");
+    throw std::runtime_error("load_checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path +
+                             " (this build reads version " +
+                             std::to_string(kVersion) + ")");
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) throw std::runtime_error("load_checkpoint: truncated header");
+  if (!in)
+    throw std::runtime_error("load_checkpoint: truncated header in " + path);
+  // Size-check against the actual file BEFORE allocating: a corrupted count
+  // must produce a named diagnostic, not a multi-gigabyte allocation.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_bytes = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t want_bytes =
+      kHeaderBytes + count * sizeof(float) + kTrailerBytes;
+  if (file_bytes != want_bytes)
+    throw std::runtime_error(
+        "load_checkpoint: " + path + " is " + std::to_string(file_bytes) +
+        " bytes but its header promises " + std::to_string(count) +
+        " floats (" + std::to_string(want_bytes) +
+        " bytes with header and checksum) — truncated or corrupt file");
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes), std::ios::beg);
   ParamBlob blob(count);
   in.read(reinterpret_cast<char*>(blob.data()),
           static_cast<std::streamsize>(count * sizeof(float)));
   std::uint64_t checksum = 0;
   in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
-  if (!in) throw std::runtime_error("load_checkpoint: truncated payload");
-  if (checksum != fnv1a(blob.data(), blob.size()))
-    throw std::runtime_error("load_checkpoint: checksum mismatch (corrupt file)");
+  if (!in)
+    throw std::runtime_error("load_checkpoint: truncated payload in " + path);
+  const std::uint64_t computed = fnv1a(blob.data(), blob.size());
+  if (checksum != computed)
+    throw std::runtime_error("load_checkpoint: checksum mismatch in " + path +
+                             ": stored " + hex64(checksum) +
+                             " but payload hashes to " + hex64(computed) +
+                             " (corrupt or partially written file)");
   return blob;
 }
 
@@ -67,7 +101,13 @@ void save_layer_checkpoint(const std::string& path, Layer& layer) {
 }
 
 void load_layer_checkpoint(const std::string& path, Layer& layer) {
-  load_blob(layer, load_checkpoint(path));
+  try {
+    load_blob(layer, load_checkpoint(path));
+  } catch (const std::invalid_argument& e) {
+    // load_blob reports element counts; add WHICH file did not fit.
+    throw std::runtime_error("load_layer_checkpoint: " + path +
+                             " does not fit the layer: " + e.what());
+  }
 }
 
 }  // namespace fp::nn

@@ -22,16 +22,22 @@ ParamBlob save_blob(Layer& layer) {
 }
 
 void load_blob(Layer& layer, const ParamBlob& blob) {
+  // Shape-check the WHOLE blob before touching any tensor: a mismatched
+  // checkpoint must not leave the layer half-overwritten.
+  const auto tensors = all_tensors(layer);
+  std::size_t need = 0;
+  for (auto* t : tensors) need += static_cast<std::size_t>(t->numel());
+  if (need != blob.size())
+    throw std::invalid_argument(
+        "load_blob: blob holds " + std::to_string(blob.size()) +
+        " floats but the layer's " + std::to_string(tensors.size()) +
+        " tensors (params + buffers) need exactly " + std::to_string(need));
   std::size_t offset = 0;
-  for (auto* t : all_tensors(layer)) {
+  for (auto* t : tensors) {
     const auto n = static_cast<std::size_t>(t->numel());
-    if (offset + n > blob.size())
-      throw std::invalid_argument("load_blob: blob too small");
     std::copy_n(blob.data() + offset, n, t->data());
     offset += n;
   }
-  if (offset != blob.size())
-    throw std::invalid_argument("load_blob: blob size mismatch");
 }
 
 std::int64_t param_count(Layer& layer) {

@@ -1,0 +1,142 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fp::serve {
+
+MicroBatcher::MicroBatcher(BatchConfig cfg, ForwardFn forward)
+    : cfg_(cfg), forward_(std::move(forward)) {}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+void MicroBatcher::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+std::int64_t MicroBatcher::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
+
+MicroBatcher::Status MicroBatcher::predict(const Tensor& x, Tensor* logits,
+                                           std::int64_t* batch_samples) {
+  const std::int64_t n = x.dim(0);
+  Job job;
+  job.x = &x;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!running_ || stop_ || queued_samples_ + n > cfg_.queue_cap) {
+      ++rejected_;
+      obs::counter("serve.rejected").add(1);
+      return Status::kOverloaded;
+    }
+    queue_.push_back(&job);
+    queued_samples_ += n;
+    cv_work_.notify_one();
+    cv_done_.wait(lk, [&job] { return job.done; });
+  }
+  if (batch_samples != nullptr) *batch_samples = job.batch_samples;
+  if (job.failed) return Status::kFailed;
+  *logits = std::move(job.out);
+  return Status::kOk;
+}
+
+void MicroBatcher::run() {
+  obs::set_thread_name("serve-batcher");
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Coalescing window: once the first job is in hand, wait up to
+    // max_delay_ms for companions — unless a full batch is already queued
+    // or batching is disabled (max_batch == 1).
+    if (cfg_.max_batch > 1 && cfg_.max_delay_ms > 0.0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(cfg_.max_delay_ms));
+      cv_work_.wait_until(lk, deadline, [this] {
+        return stop_ || queued_samples_ >= cfg_.max_batch;
+      });
+    }
+    // Take whole jobs up to max_batch samples; a single oversized job
+    // (client batch > max_batch) runs alone rather than being split.
+    std::vector<Job*> batch;
+    std::int64_t samples = 0;
+    while (!queue_.empty()) {
+      Job* j = queue_.front();
+      const std::int64_t n = j->x->dim(0);
+      if (!batch.empty() && samples + n > cfg_.max_batch) break;
+      queue_.pop_front();
+      queued_samples_ -= n;
+      batch.push_back(j);
+      samples += n;
+      if (samples >= cfg_.max_batch) break;
+    }
+    lk.unlock();
+    run_batch(batch, samples);
+    lk.lock();
+    for (Job* j : batch) j->done = true;
+    cv_done_.notify_all();
+  }
+}
+
+void MicroBatcher::run_batch(const std::vector<Job*>& batch,
+                             std::int64_t samples) {
+  FP_TRACE_SCOPE_ARG("serve.batch", "serve", "samples", samples);
+  for (Job* j : batch) j->batch_samples = samples;
+  try {
+    Tensor out;
+    if (batch.size() == 1) {
+      // Fast path: no copy — forward the caller's tensor directly.
+      out = forward_(*batch[0]->x);
+      batch[0]->out = std::move(out);
+    } else {
+      const Tensor& first = *batch[0]->x;
+      Tensor x({samples, first.dim(1), first.dim(2), first.dim(3)});
+      std::int64_t row = 0;
+      for (const Job* j : batch) {
+        x.set_rows(row, *j->x);
+        row += j->x->dim(0);
+      }
+      out = forward_(x);
+      row = 0;
+      for (Job* j : batch) {
+        const std::int64_t n = j->x->dim(0);
+        j->out = out.slice_rows(row, n);
+        row += n;
+      }
+    }
+    stats_.record(samples);
+    obs::counter("serve.batches").add(1);
+    obs::counter("serve.samples").add(samples);
+  } catch (const std::exception&) {
+    for (Job* j : batch) j->failed = true;
+    obs::counter("serve.errors").add(1);
+  }
+}
+
+}  // namespace fp::serve

@@ -1,0 +1,58 @@
+// Trained-model hosting for the serving plane (DESIGN.md §12).
+//
+// A served model is a checkpoint (nn/model_io blob) plus its fully-resolved
+// `.spec.json` sidecar: the sidecar rebuilds the EXACT registry model the
+// training run used (model key, image/width/classes, compute mode), and the
+// checkpoint restores its weights and BatchNorm statistics bit-exactly. The
+// pair is what `fp_run --save-model` exports and what `fp_serve` loads, so a
+// served forward is the same computation as the offline eval forward.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exp/spec.hpp"
+#include "models/built_model.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/compute_mode.hpp"
+
+namespace fp::serve {
+
+struct ServedModel {
+  exp::ExperimentSpec spec;              ///< the resolved sidecar spec
+  sys::ModelSpec model_spec;
+  std::unique_ptr<models::BuiltModel> model;
+  compute::ComputeConfig compute;        ///< spec's compute.precision/winograd
+
+  std::int64_t channels() const { return model_spec.input.c; }
+  std::int64_t height() const { return model_spec.input.h; }
+  std::int64_t width() const { return model_spec.input.w; }
+  std::int64_t classes() const { return model_spec.num_classes; }
+};
+
+/// The sidecar path convention: `<model_path>.spec.json`.
+std::string sidecar_path(const std::string& model_path);
+
+/// Exports a trained global model: checkpoint at `path` plus the resolved
+/// spec sidecar at sidecar_path(path). Throws std::runtime_error on I/O
+/// failure — a half-written export must not pass silently.
+void export_model(const std::string& path, const exp::ExperimentSpec& resolved,
+                  const nn::ParamBlob& blob);
+
+/// Rebuilds the registry model described by `resolved` and loads `blob` into
+/// it. Throws with expected-vs-found element counts on a mismatched blob.
+ServedModel make_served_model(exp::ExperimentSpec resolved,
+                              const nn::ParamBlob& blob);
+
+/// Loads checkpoint + sidecar from disk. `spec_path` empty = the sidecar
+/// convention next to the checkpoint.
+ServedModel load_served_model(const std::string& ckpt_path,
+                              const std::string& spec_path = "");
+
+/// The offline reference forward — exactly what the evaluation harness runs
+/// per batch: an InferenceScope around an eval-mode whole-model forward.
+/// Served predictions must be bit-identical to this for any batch split.
+Tensor reference_forward(models::BuiltModel& model, const Tensor& x,
+                         const compute::ComputeConfig& cc);
+
+}  // namespace fp::serve

@@ -23,6 +23,8 @@
 #include "exp/runner.hpp"
 #include "net/service.hpp"
 #include "obs/log.hpp"
+#include "serve/model_host.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -46,6 +48,12 @@ int usage(std::FILE* out) {
                "                        net.host:net.port, then train over them\n"
                "  --worker <host:port>  run as distributed worker serving that\n"
                "                        root (net.role=worker)\n"
+               "  --save-model <path>   after training, export the global model\n"
+               "                        checkpoint plus its <path>.spec.json\n"
+               "                        sidecar (what fp_serve loads)\n"
+               "  --api [host:port]     after training, serve the global model\n"
+               "                        over HTTP until SIGINT (POST /v1/predict,\n"
+               "                        GET /healthz, GET /metricsz)\n"
                "  --trace <out.json>    collect spans and write a Chrome trace\n"
                "                        (obs.trace=1 obs.trace_path=<out.json>;\n"
                "                        load in chrome://tracing / Perfetto)\n"
@@ -101,9 +109,10 @@ void list_keys() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string config_path, dump_path;
+  std::string config_path, dump_path, save_model_path;
   bool print_spec = false;
   bool print_plan = false;
+  bool api_mode = false;
   std::vector<std::string> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -145,6 +154,32 @@ int main(int argc, char** argv) {
       overrides.push_back("net.role=worker");
       overrides.push_back("net.host=" + endpoint.substr(0, colon));
       overrides.push_back("net.port=" + endpoint.substr(colon + 1));
+      continue;
+    }
+    if (arg == "--save-model") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fp_run: --save-model needs a path argument\n\n");
+        return usage(stderr);
+      }
+      save_model_path = argv[++i];
+      continue;
+    }
+    if (arg == "--api") {
+      api_mode = true;
+      // Optional host:port operand (anything else is left for the arg loop).
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::strchr(argv[i + 1], '=') == nullptr) {
+        const std::string endpoint = argv[++i];
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == endpoint.size()) {
+          std::fprintf(stderr, "fp_run: --api wants host:port, got '%s'\n\n",
+                       endpoint.c_str());
+          return usage(stderr);
+        }
+        overrides.push_back("serve.host=" + endpoint.substr(0, colon));
+        overrides.push_back("serve.port=" + endpoint.substr(colon + 1));
+      }
       continue;
     }
     if (arg == "--trace") {
@@ -253,6 +288,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::string role = fp::exp::get_key(spec, "net.role");
+    if ((api_mode || !save_model_path.empty()) && role != "off") {
+      std::fprintf(stderr,
+                   "fp_run: --save-model/--api need the single-process path "
+                   "(net.role=off), not '%s'\n",
+                   role.c_str());
+      return 2;
+    }
     if (role == "worker") {
       // The run is defined by the root's resolved spec; local keys beyond
       // net.host/net.port/net.retry_s only matter until the welcome arrives.
@@ -289,8 +331,35 @@ int main(int argc, char** argv) {
                   setup.spec.method.c_str(), setup.spec.workload.c_str(),
                   static_cast<long long>(setup.spec.fl.num_clients),
                   static_cast<long long>(setup.spec.fl.rounds));
-    const fp::exp::RunResult result = fp::exp::run_on_setup(setup);
+    // Construct the method BEFORE training so a method with no single
+    // deployable global model (FedRBN's dual BN banks) fails fast instead
+    // of after the whole run.
+    const fp::exp::MethodFactory& factory =
+        fp::exp::method_registry().resolve(setup.spec.method);
+    fp::exp::MethodRun run = factory(setup);
+    if ((!save_model_path.empty() || api_mode) && !run.single_global_model) {
+      std::fprintf(stderr,
+                   "fp_run: method '%s' has no single deployable global model "
+                   "(--save-model/--api need one); pick another method\n",
+                   setup.spec.method.c_str());
+      return 2;
+    }
+    const fp::exp::RunResult result = fp::exp::run_built(setup, run);
     fp::exp::print_run_summary(setup, result);
+    if (!save_model_path.empty()) {
+      fp::serve::export_model(save_model_path, setup.spec,
+                              run.algo->global_model().save_all());
+      std::printf("saved global model to %s (spec sidecar %s)\n",
+                  save_model_path.c_str(),
+                  fp::serve::sidecar_path(save_model_path).c_str());
+    }
+    if (api_mode) {
+      fp::serve::ServedModel served = fp::serve::make_served_model(
+          setup.spec, run.algo->global_model().save_all());
+      fp::serve::InferenceServer server(
+          std::move(served), fp::serve::serve_config_of(setup.spec));
+      return fp::serve::serve_until_signal(server);
+    }
     return 0;
   } catch (const fp::exp::SpecError& e) {
     std::fprintf(stderr, "fp_run: %s\n", e.what());
